@@ -1,0 +1,143 @@
+// Command rpbench regenerates the paper's evaluation tables over the
+// packaged benchmark suite.
+//
+// Usage:
+//
+//	rpbench -list            print the Figure 4 program table
+//	rpbench                  print Figures 5, 6 and 7
+//	rpbench -figure 6        print one figure (5=ops, 6=stores, 7=loads)
+//	rpbench -pointerpromo    rerun the matrix with §3.3 pointer-based
+//	                         promotion enabled and report the delta it
+//	                         adds over scalar promotion (§3.3 study)
+//	rpbench -programs a,b,c  restrict to named programs
+//	-k N                     physical register count (default 32)
+//	-markdown                emit Markdown tables (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"regpromo/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the Figure 4 program table")
+	figure := flag.Int("figure", 0, "print only one figure: 5, 6, or 7")
+	pointer := flag.Bool("pointerpromo", false, "measure §3.3 pointer-based promotion against scalar promotion")
+	programs := flag.String("programs", "", "comma-separated program subset")
+	k := flag.Int("k", 0, "physical register count (0 = default)")
+	markdown := flag.Bool("markdown", false, "emit Markdown tables")
+	flag.Parse()
+
+	if *list {
+		fmt.Print(bench.FormatFigure4())
+		return
+	}
+
+	opts := bench.Options{K: *k}
+	if *programs != "" {
+		opts.Programs = strings.Split(*programs, ",")
+	}
+
+	if *pointer {
+		if err := runPointerStudy(opts, *markdown); err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fr, err := bench.RunFigures(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpbench:", err)
+		os.Exit(1)
+	}
+	// Figures 5-7 are the paper's; "figure 8" is this reproduction's
+	// weighted-cycles extension (§5's latency remark, quantified).
+	metrics := map[int]bench.Metric{5: bench.TotalOps, 6: bench.Stores, 7: bench.Loads, 8: bench.WeightedCycles}
+	if *figure != 0 {
+		m, ok := metrics[*figure]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "rpbench: -figure must be 5, 6, 7, or 8 (weighted cycles)")
+			os.Exit(2)
+		}
+		printTable(*markdown, *figure, m, fr.Rows[m])
+		return
+	}
+	for _, f := range []int{5, 6, 7, 8} {
+		m := metrics[f]
+		printTable(*markdown, f, m, fr.Rows[m])
+		fmt.Println()
+	}
+}
+
+func printTable(markdown bool, figure int, m bench.Metric, rows []bench.Row) {
+	if !markdown {
+		fmt.Printf("Figure %d: ", figure)
+		fmt.Print(bench.FormatTable(m, rows))
+		return
+	}
+	fmt.Printf("### Figure %d: %s\n\n", figure, m)
+	fmt.Println("| Program | analysis | without | with | difference | % removed |")
+	fmt.Println("|---|---|---:|---:|---:|---:|")
+	for _, r := range rows {
+		fmt.Printf("| %s | %s | %d | %d | %d | %.2f |\n",
+			r.Program, r.Analysis, r.Without, r.With, r.Difference(), r.PercentRemoved())
+	}
+}
+
+// runPointerStudy reproduces the §3.3 comparison: how much more the
+// pointer-based promoter removes beyond scalar promotion.
+func runPointerStudy(opts bench.Options, markdown bool) error {
+	scalar, err := bench.RunFigures(opts)
+	if err != nil {
+		return err
+	}
+	withPtr := opts
+	withPtr.PointerPromotion = true
+	ptr, err := bench.RunFigures(withPtr)
+	if err != nil {
+		return err
+	}
+	if markdown {
+		fmt.Println("### §3.3 study: pointer-based promotion over scalar promotion (points-to analysis)")
+		fmt.Println()
+		fmt.Println("| Program | metric | scalar promo | +pointer promo | extra removed |")
+		fmt.Println("|---|---|---:|---:|---:|")
+	} else {
+		fmt.Println("§3.3 study: pointer-based promotion over scalar promotion (points-to analysis)")
+		fmt.Printf("%-11s %-8s %14s %14s %14s\n", "Program", "metric", "scalar", "+pointer", "extra removed")
+	}
+	for _, metric := range []bench.Metric{bench.TotalOps, bench.Stores, bench.Loads} {
+		ms := indexRows(scalar.Rows[metric])
+		mp := indexRows(ptr.Rows[metric])
+		for _, r := range scalar.Rows[metric] {
+			if r.Analysis != "pointer" {
+				continue
+			}
+			key := r.Program
+			s := ms[key]
+			p := mp[key]
+			extra := s.With - p.With
+			if markdown {
+				fmt.Printf("| %s | %s | %d | %d | %d |\n", key, metric, s.With, p.With, extra)
+			} else {
+				fmt.Printf("%-11s %-8s %14d %14d %14d\n", key, metric, s.With, p.With, extra)
+			}
+		}
+	}
+	return nil
+}
+
+func indexRows(rows []bench.Row) map[string]bench.Row {
+	out := map[string]bench.Row{}
+	for _, r := range rows {
+		if r.Analysis == "pointer" {
+			out[r.Program] = r
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+// Quickstart: compile a small C program with and without register
+// promotion, run both in the instrumented interpreter, and print the
+// memory-traffic difference — the paper's experiment in miniature.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"regpromo/internal/driver"
+	"regpromo/internal/interp"
+)
+
+const src = `
+int total;
+int calls;
+
+void audit(int v) {
+	calls++;
+}
+
+int main(void) {
+	int i;
+	for (i = 0; i < 10000; i++) {
+		total += i;          /* explicit global reference in a loop */
+		if (i % 100 == 0) {
+			audit(total);    /* the call does not touch total */
+		}
+	}
+	print_int(total);
+	return 0;
+}
+`
+
+func run(cfg driver.Config) (*interp.Result, error) {
+	c, err := driver.CompileSource("quickstart.c", src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Execute(interp.Options{})
+}
+
+func main() {
+	without, err := run(driver.Config{Analysis: driver.ModRef})
+	if err != nil {
+		log.Fatal(err)
+	}
+	with, err := run(driver.Config{Analysis: driver.ModRef, Promote: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if without.Output != with.Output {
+		log.Fatalf("outputs differ: %q vs %q", without.Output, with.Output)
+	}
+	fmt.Printf("program output:       %s", with.Output)
+	fmt.Printf("%-22s %12s %12s %12s\n", "", "without", "with", "% removed")
+	rowi := func(name string, a, b int64) {
+		pct := 0.0
+		if a != 0 {
+			pct = 100 * float64(a-b) / float64(a)
+		}
+		fmt.Printf("%-22s %12d %12d %11.2f%%\n", name, a, b, pct)
+	}
+	rowi("total operations", without.Counts.Ops, with.Counts.Ops)
+	rowi("loads executed", without.Counts.Loads, with.Counts.Loads)
+	rowi("stores executed", without.Counts.Stores, with.Counts.Stores)
+	fmt.Println()
+	fmt.Println("The accumulator `total` lives in memory because the compiler")
+	fmt.Println("cannot prove the call to audit() leaves it alone — until the")
+	fmt.Println("interprocedural MOD/REF analysis shows it does, and register")
+	fmt.Println("promotion keeps `total` in a register for the whole loop.")
+}

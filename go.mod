@@ -1,0 +1,3 @@
+module regpromo
+
+go 1.22

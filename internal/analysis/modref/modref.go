@@ -1,0 +1,279 @@
+// Package modref implements the paper's interprocedural MOD/REF
+// analysis (§4). It limits the tag sets of pointer-based memory
+// operations to the address-taken tags visible in each function, then
+// computes, for every function, the set of tags it (or any function it
+// can call) may modify and may reference, processing call-graph SCCs
+// in reverse topological order. The summaries are installed on every
+// call instruction's Mods/Refs lists.
+//
+// The visibility rule for locals follows the paper exactly: the tag of
+// a local variable appears only in the tag sets of memory operations
+// in descendants of the function that creates it — a local of f can
+// only be live while f is on the call stack, so only functions f can
+// reach could possibly touch it through a pointer.
+package modref
+
+import (
+	"regpromo/internal/callgraph"
+	"regpromo/internal/ir"
+)
+
+// Result holds the per-function analysis summaries.
+type Result struct {
+	// Mod and Ref are the interprocedural summary sets: everything
+	// the function or its callees may write / read.
+	Mod map[string]ir.TagSet
+	Ref map[string]ir.TagSet
+
+	// Visible is the set of tags a pointer-based memory operation
+	// appearing in the function may touch: every address-taken
+	// global, every heap site tag, and the address-taken locals of
+	// the function's call-graph ancestors (itself included).
+	Visible map[string]ir.TagSet
+}
+
+// Run performs the analysis on mod, rewriting the tag sets of
+// pointer-based operations and the Mods/Refs of calls in place. It is
+// idempotent and monotone: a second run (e.g. after points-to
+// analysis has shrunk pointer tag sets) only tightens information.
+func Run(m *ir.Module, cg *callgraph.Graph) *Result {
+	r := &Result{
+		Mod:     make(map[string]ir.TagSet),
+		Ref:     make(map[string]ir.TagSet),
+		Visible: make(map[string]ir.TagSet),
+	}
+
+	r.computeVisible(m, cg)
+	limitPointerOps(m, r)
+	demoteRecursiveLocals(m, cg)
+
+	// Direct (intraprocedural) effects, excluding calls.
+	directMod := make(map[string]ir.TagSet)
+	directRef := make(map[string]ir.TagSet)
+	for _, fn := range m.FuncsInOrder() {
+		var dm, dr ir.TagSet
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case ir.OpSStore:
+					dm = dm.With(in.Tag)
+				case ir.OpPStore:
+					dm = dm.Union(in.Tags)
+				case ir.OpSLoad, ir.OpCLoad:
+					dr = dr.With(in.Tag)
+				case ir.OpPLoad:
+					dr = dr.Union(in.Tags)
+				}
+			}
+		}
+		directMod[fn.Name] = dm
+		directRef[fn.Name] = dr
+	}
+
+	// SCC summaries, callees first. Within an SCC all functions get
+	// the identical set (§4).
+	for _, comp := range cg.SCCs {
+		var cm, cr ir.TagSet
+		for _, name := range comp {
+			cm = cm.Union(directMod[name])
+			cr = cr.Union(directRef[name])
+			fn := m.Funcs[name]
+			for _, b := range fn.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					if in.Op != ir.OpJsr {
+						continue
+					}
+					em, er := r.calleeEffects(m, cg, name, in, comp)
+					cm = cm.Union(em)
+					cr = cr.Union(er)
+				}
+			}
+		}
+		for _, name := range comp {
+			r.Mod[name] = cm
+			r.Ref[name] = cr
+		}
+	}
+
+	// Install summaries on call sites.
+	for _, fn := range m.FuncsInOrder() {
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpJsr {
+					continue
+				}
+				mods, refs := r.callSiteEffects(m, cg, fn.Name, in)
+				in.Mods = mods
+				in.Refs = refs
+			}
+		}
+	}
+	return r
+}
+
+// computeVisible builds Visible per the paper's two rules: only
+// address-taken tags enter pointer tag sets, and a local is visible
+// only in descendants of its creator.
+func (r *Result) computeVisible(m *ir.Module, cg *callgraph.Graph) {
+	// Base: address-taken globals and all heap site tags.
+	var base ir.TagSet
+	ownLocals := make(map[string]ir.TagSet)
+	for _, tag := range m.Tags.All() {
+		if !tag.AddrTaken {
+			continue
+		}
+		switch tag.Kind {
+		case ir.TagGlobal, ir.TagHeap:
+			base = base.With(tag.ID)
+		case ir.TagLocal:
+			ownLocals[tag.Func] = ownLocals[tag.Func].With(tag.ID)
+		}
+	}
+
+	// anc[s] = address-taken locals of every function in SCC s or in
+	// any SCC that can call into s. Tarjan's order is callees-first,
+	// so walking components from the end (callers) toward the start
+	// (callees) sees every caller before its callees.
+	anc := make([]ir.TagSet, len(cg.SCCs))
+	own := make([]ir.TagSet, len(cg.SCCs))
+	for i, comp := range cg.SCCs {
+		for _, name := range comp {
+			own[i] = own[i].Union(ownLocals[name])
+		}
+	}
+	for i := len(cg.SCCs) - 1; i >= 0; i-- {
+		anc[i] = anc[i].Union(own[i])
+		for _, name := range cg.SCCs[i] {
+			for _, callee := range cg.Callees[name] {
+				j := cg.SCCOf(callee)
+				if j != i {
+					anc[j] = anc[j].Union(anc[i])
+				}
+			}
+		}
+	}
+	for _, fn := range m.FuncsInOrder() {
+		r.Visible[fn.Name] = base.Union(anc[cg.SCCOf(fn.Name)])
+	}
+}
+
+// limitPointerOps replaces ⊤ pointer tag sets with the function's
+// visible set and intersects already-refined sets with it.
+func limitPointerOps(m *ir.Module, r *Result) {
+	for _, fn := range m.FuncsInOrder() {
+		vis := r.Visible[fn.Name]
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpPLoad && in.Op != ir.OpPStore {
+					continue
+				}
+				if in.Tags.IsTop() {
+					in.Tags = vis
+				} else {
+					in.Tags = in.Tags.Intersect(vis)
+				}
+			}
+		}
+	}
+}
+
+// demoteRecursiveLocals clears the Strong bit on address-taken locals
+// of functions that can recurse: one tag then stands for many
+// activations, so strong updates are impossible (§4).
+func demoteRecursiveLocals(m *ir.Module, cg *callgraph.Graph) {
+	for _, tag := range m.Tags.All() {
+		if tag.Kind == ir.TagLocal && tag.Strong && cg.InCycle(tag.Func) {
+			tag.Strong = false
+		}
+	}
+}
+
+// calleeEffects returns the contribution of one call instruction to
+// its caller's summary while the caller's SCC is being solved.
+// Members of the same SCC contribute nothing here (their direct
+// effects are already in the union being built).
+func (r *Result) calleeEffects(m *ir.Module, cg *callgraph.Graph, caller string, in *ir.Instr, comp []string) (ir.TagSet, ir.TagSet) {
+	inComp := func(name string) bool {
+		for _, c := range comp {
+			if c == name {
+				return true
+			}
+		}
+		return false
+	}
+	var mods, refs ir.TagSet
+	add := func(name string) {
+		if inComp(name) {
+			return
+		}
+		if em, er, ok := r.resolved(m, cg, caller, name); ok {
+			mods = mods.Union(em)
+			refs = refs.Union(er)
+		} else {
+			mods, refs = ir.TopSet(), ir.TopSet()
+		}
+	}
+	if in.Callee != "" {
+		add(in.Callee)
+		return mods, refs
+	}
+	for _, t := range indirectTargets(m, in) {
+		add(t)
+	}
+	return mods, refs
+}
+
+// indirectTargets returns the possible callees of an indirect call:
+// the points-to-refined set when available, else every addressed
+// function.
+func indirectTargets(m *ir.Module, in *ir.Instr) []string {
+	if in.Targets != nil {
+		return in.Targets
+	}
+	return m.AddressedFuncs
+}
+
+// callSiteEffects computes the final Mods/Refs for a call site once
+// all summaries exist.
+func (r *Result) callSiteEffects(m *ir.Module, cg *callgraph.Graph, caller string, in *ir.Instr) (ir.TagSet, ir.TagSet) {
+	if in.Callee != "" {
+		mods, refs, ok := r.resolved(m, cg, caller, in.Callee)
+		if !ok {
+			return ir.TopSet(), ir.TopSet()
+		}
+		return mods, refs
+	}
+	var mods, refs ir.TagSet
+	for _, t := range indirectTargets(m, in) {
+		em, er, ok := r.resolved(m, cg, caller, t)
+		if !ok {
+			return ir.TopSet(), ir.TopSet()
+		}
+		mods = mods.Union(em)
+		refs = refs.Union(er)
+	}
+	return mods, refs
+}
+
+// resolved returns the effect sets of a named callee: a computed
+// summary for defined functions, the built-in model for intrinsics,
+// and ok=false for unknown externals.
+func (r *Result) resolved(m *ir.Module, cg *callgraph.Graph, caller, name string) (ir.TagSet, ir.TagSet, bool) {
+	if _, defined := m.Funcs[name]; defined {
+		return r.Mod[name], r.Ref[name], true
+	}
+	switch name {
+	case "print_int", "print_char", "print_double", "malloc", "free":
+		// Pure I/O or allocation: touches no program-visible tags.
+		return ir.TagSet{}, ir.TagSet{}, true
+	case "print_str":
+		// Reads through its pointer argument: may reference anything
+		// a pointer in the caller may reach.
+		return ir.TagSet{}, r.Visible[caller], true
+	}
+	return ir.TagSet{}, ir.TagSet{}, false
+}

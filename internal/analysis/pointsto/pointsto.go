@@ -1,0 +1,306 @@
+// Package pointsto implements the paper's whole-program points-to
+// analysis (§4), in the style of Ruf's context-insensitive analysis
+// [18]: for every pointer-valued name the analysis computes the set of
+// tags it may point to, propagating values through assignments,
+// loads, stores, calls, and returns with a worklist until fixed point.
+// Non-local memory is modeled with explicit names (one node per tag),
+// the heap is split by allocation site, and function pointers are
+// tracked so indirect calls resolve to the functions a pointer can
+// actually carry.
+//
+// The implementation is flow-insensitive at the register level where
+// the paper's is SSA-based; the IL generator produces single-
+// assignment temporaries for all address computations, so the
+// precision difference is confined to user variables that are
+// reassigned between address-takings — a strictly conservative
+// approximation.
+package pointsto
+
+import (
+	"sort"
+
+	"regpromo/internal/callgraph"
+	"regpromo/internal/ir"
+)
+
+// Result maps analysis facts back to the program.
+type Result struct {
+	// RegTags gives, for function f and register r, the tags r may
+	// point to.
+	regs map[string][]node
+	mod  *ir.Module
+	// mem gives the points-to set of the value stored in each tag.
+	mem []node
+}
+
+// node is one points-to set: program tags plus possible function
+// targets.
+type node struct {
+	tags  ir.TagSet
+	funcs map[string]bool
+}
+
+func (n *node) unionTags(t ir.TagSet) bool {
+	u := n.tags.Union(t)
+	if u.Equal(n.tags) {
+		return false
+	}
+	n.tags = u
+	return true
+}
+
+func (n *node) unionFuncs(fs map[string]bool) bool {
+	changed := false
+	for f := range fs {
+		if !n.funcs[f] {
+			if n.funcs == nil {
+				n.funcs = make(map[string]bool)
+			}
+			n.funcs[f] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (n *node) addFunc(f string) bool {
+	if n.funcs[f] {
+		return false
+	}
+	if n.funcs == nil {
+		n.funcs = make(map[string]bool)
+	}
+	n.funcs[f] = true
+	return true
+}
+
+// RegPointsTo returns the tag set register r of function fn may point
+// to.
+func (r *Result) RegPointsTo(fn string, reg ir.Reg) ir.TagSet {
+	ns := r.regs[fn]
+	if ns == nil || int(reg) >= len(ns) {
+		return ir.TagSet{}
+	}
+	return ns[reg].tags
+}
+
+// MemPointsTo returns the tag set the value stored in tag may point
+// to.
+func (r *Result) MemPointsTo(tag ir.TagID) ir.TagSet { return r.mem[tag].tags }
+
+// Run analyzes the module, then narrows the tag sets of pointer-based
+// memory operations and the target sets of indirect calls in place.
+func Run(m *ir.Module, cg *callgraph.Graph) *Result {
+	a := &analyzer{
+		mod: m,
+		res: &Result{
+			regs: make(map[string][]node),
+			mod:  m,
+			mem:  make([]node, m.Tags.Len()),
+		},
+		rets: make(map[string]*node),
+	}
+	for _, fn := range m.FuncsInOrder() {
+		a.res.regs[fn.Name] = make([]node, fn.NumRegs)
+		a.rets[fn.Name] = &node{}
+	}
+
+	// Seed: static initializers with relocations store addresses.
+	for _, init := range m.Inits {
+		for _, rel := range init.Relocs {
+			a.res.mem[init.Tag].unionTags(ir.NewTagSet(rel.Target))
+		}
+	}
+
+	// Iterate all transfer functions to a fixed point. Program sizes
+	// are modest; a full sweep per round keeps the logic transparent.
+	for {
+		a.changed = false
+		for _, fn := range m.FuncsInOrder() {
+			a.function(fn)
+		}
+		if !a.changed {
+			break
+		}
+	}
+
+	a.narrow()
+	return a.res
+}
+
+type analyzer struct {
+	mod     *ir.Module
+	res     *Result
+	rets    map[string]*node
+	changed bool
+}
+
+func (a *analyzer) mark(b bool) {
+	if b {
+		a.changed = true
+	}
+}
+
+func (a *analyzer) function(fn *ir.Func) {
+	regs := a.res.regs[fn.Name]
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpAddrOf:
+				if in.Callee != "" {
+					a.mark(regs[in.Dst].addFunc(in.Callee))
+				} else {
+					a.mark(regs[in.Dst].unionTags(ir.NewTagSet(in.Tag)))
+				}
+
+			case ir.OpCopy:
+				a.mark(regs[in.Dst].unionTags(regs[in.A].tags))
+				a.mark(regs[in.Dst].unionFuncs(regs[in.A].funcs))
+
+			case ir.OpAdd, ir.OpSub:
+				// Pointer arithmetic stays within the object; both
+				// operands may carry the pointer.
+				a.mark(regs[in.Dst].unionTags(regs[in.A].tags))
+				a.mark(regs[in.Dst].unionTags(regs[in.B].tags))
+				a.mark(regs[in.Dst].unionFuncs(regs[in.A].funcs))
+				a.mark(regs[in.Dst].unionFuncs(regs[in.B].funcs))
+
+			case ir.OpSLoad, ir.OpCLoad:
+				a.mark(regs[in.Dst].unionTags(a.res.mem[in.Tag].tags))
+				a.mark(regs[in.Dst].unionFuncs(a.res.mem[in.Tag].funcs))
+
+			case ir.OpSStore:
+				a.mark(a.res.mem[in.Tag].unionTags(regs[in.A].tags))
+				a.mark(a.res.mem[in.Tag].unionFuncs(regs[in.A].funcs))
+
+			case ir.OpPLoad:
+				for _, t := range a.currentTargets(fn, in, regs) {
+					a.mark(regs[in.Dst].unionTags(a.res.mem[t].tags))
+					a.mark(regs[in.Dst].unionFuncs(a.res.mem[t].funcs))
+				}
+
+			case ir.OpPStore:
+				for _, t := range a.currentTargets(fn, in, regs) {
+					a.mark(a.res.mem[t].unionTags(regs[in.B].tags))
+					a.mark(a.res.mem[t].unionFuncs(regs[in.B].funcs))
+				}
+
+			case ir.OpJsr:
+				a.call(fn, in, regs)
+
+			case ir.OpRet:
+				if in.HasValue && in.A != ir.RegInvalid {
+					rn := a.rets[fn.Name]
+					a.mark(rn.unionTags(regs[in.A].tags))
+					a.mark(rn.unionFuncs(regs[in.A].funcs))
+				}
+			}
+		}
+	}
+}
+
+// currentTargets is the set of memory nodes a pointer op touches: the
+// points-to set of its address register. An empty set means the
+// address has not (yet) been reached by any modeled pointer value; in
+// the standard inclusion-based reading the operation contributes no
+// flow until the set grows, and the transfer re-fires when it does.
+// (Programs that manufacture pointers from arbitrary integers are
+// outside the modeled subset; their operations would be invisible
+// here, which is why narrow() never shrinks a tag set on the strength
+// of an empty result.)
+func (a *analyzer) currentTargets(fn *ir.Func, in *ir.Instr, regs []node) []ir.TagID {
+	pts := regs[in.A].tags
+	if pts.IsTop() {
+		var all []ir.TagID
+		for _, tag := range a.mod.Tags.All() {
+			if tag.AddrTaken {
+				all = append(all, tag.ID)
+			}
+		}
+		return all
+	}
+	return pts.IDs()
+}
+
+func (a *analyzer) call(fn *ir.Func, in *ir.Instr, regs []node) {
+	var callees []string
+	if in.Callee != "" {
+		callees = []string{in.Callee}
+	} else {
+		// Indirect: targets from the function-pointer set; until it
+		// is populated, every addressed function.
+		fp := regs[in.A].funcs
+		if len(fp) > 0 {
+			for f := range fp {
+				callees = append(callees, f)
+			}
+			sort.Strings(callees)
+		} else {
+			callees = a.mod.AddressedFuncs
+		}
+	}
+	for _, name := range callees {
+		callee, defined := a.mod.Funcs[name]
+		if !defined {
+			a.intrinsic(name, in, regs)
+			continue
+		}
+		calleeRegs := a.res.regs[name]
+		for i, arg := range in.Args {
+			if i >= len(callee.Params) {
+				break
+			}
+			p := callee.Params[i]
+			a.mark(calleeRegs[p].unionTags(regs[arg].tags))
+			a.mark(calleeRegs[p].unionFuncs(regs[arg].funcs))
+		}
+		if in.HasValue && in.Dst != ir.RegInvalid {
+			rn := a.rets[name]
+			a.mark(regs[in.Dst].unionTags(rn.tags))
+			a.mark(regs[in.Dst].unionFuncs(rn.funcs))
+		}
+	}
+}
+
+func (a *analyzer) intrinsic(name string, in *ir.Instr, regs []node) {
+	if name == "malloc" && in.Site != ir.TagInvalid && in.Dst != ir.RegInvalid {
+		a.mark(regs[in.Dst].unionTags(ir.NewTagSet(in.Site)))
+	}
+}
+
+// narrow installs the computed sets: pointer-op tag lists shrink to
+// the address's points-to set (intersected with the existing
+// visibility-limited set), and indirect calls learn their possible
+// targets.
+func (a *analyzer) narrow() {
+	for _, fn := range a.mod.FuncsInOrder() {
+		regs := a.res.regs[fn.Name]
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case ir.OpPLoad, ir.OpPStore:
+					pts := regs[in.A].tags
+					if pts.IsEmpty() || pts.IsTop() {
+						continue
+					}
+					if in.Tags.IsTop() {
+						in.Tags = pts
+					} else {
+						in.Tags = in.Tags.Intersect(pts)
+					}
+				case ir.OpJsr:
+					if in.Callee == "" && len(regs[in.A].funcs) > 0 {
+						var ts []string
+						for f := range regs[in.A].funcs {
+							ts = append(ts, f)
+						}
+						sort.Strings(ts)
+						in.Targets = ts
+					}
+				}
+			}
+		}
+	}
+}

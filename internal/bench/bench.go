@@ -1,0 +1,260 @@
+// Package bench packages the 14-program workload suite standing in
+// for the paper's benchmarks (Figure 4) and the measurement harness
+// that regenerates the evaluation tables: total operations executed
+// (Figure 5), stores executed (Figure 6), and loads executed
+// (Figure 7), each measured without and with register promotion under
+// MOD/REF analysis and under points-to analysis.
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+
+	"regpromo/internal/driver"
+	"regpromo/internal/interp"
+)
+
+//go:embed programs/*.c
+var sources embed.FS
+
+// Program describes one suite member.
+type Program struct {
+	// Name is the paper's program name.
+	Name string
+	// File is the embedded source path.
+	File string
+	// Desc matches the Figure 4 description column.
+	Desc string
+}
+
+// Suite lists the benchmark programs in the paper's Figure 4 order
+// (gzip appears once per direction, as in the result tables).
+func Suite() []Program {
+	return []Program{
+		{"tsp", "programs/tsp.c", "a traveling salesman problem"},
+		{"mlink", "programs/mlink.c", "genetic linkage analysis (FASTLINK)"},
+		{"fft", "programs/fft.c", "fast Fourier transform"},
+		{"clean", "programs/clean.c", "dead-code elimination pass"},
+		{"caches", "programs/caches.c", "cache simulator"},
+		{"li", "programs/li.c", "lisp interpreter from SPEC"},
+		{"dhrystone", "programs/dhrystone.c", "synthetic integer benchmark"},
+		{"water", "programs/water.c", "molecular dynamics simulation"},
+		{"indent", "programs/indent.c", "prettyprinter for C programs"},
+		{"allroots", "programs/allroots.c", "polynomial root-finder"},
+		{"bc", "programs/bc.c", "calculator language from GNU"},
+		{"bison", "programs/bison.c", "LR(1) parser generator"},
+		{"geb", "programs/geb.c", "graphics compression code from SPEC"},
+		{"gzip(enc)", "programs/gzip_enc.c", "file compression (compressing)"},
+		{"gzip(dec)", "programs/gzip_dec.c", "file compression (decompressing)"},
+	}
+}
+
+// Source returns a program's C text.
+func Source(p Program) string {
+	data, err := sources.ReadFile(p.File)
+	if err != nil {
+		panic("bench: missing embedded source " + p.File)
+	}
+	return string(data)
+}
+
+// Lines counts source lines, for the Figure 4 listing.
+func Lines(p Program) int {
+	return strings.Count(Source(p), "\n")
+}
+
+// Measurement is one compile-and-run data point.
+type Measurement struct {
+	Counts  interp.Counts
+	Output  string
+	Promote int // scalar + pointer promotions performed
+	Spilled int
+}
+
+// Measure compiles p under cfg and executes it.
+func Measure(p Program, cfg driver.Config) (*Measurement, error) {
+	c, err := driver.CompileSource(p.Name+".c", Source(p), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	res, err := c.Execute(interp.Options{MaxSteps: 1 << 33})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return &Measurement{
+		Counts:  res.Counts,
+		Output:  res.Output,
+		Promote: c.Promote.ScalarPromotions + c.Promote.PointerPromotions,
+		Spilled: c.Alloc.Spilled,
+	}, nil
+}
+
+// Metric selects which dynamic count a figure reports.
+type Metric int
+
+const (
+	// TotalOps is Figure 5.
+	TotalOps Metric = iota
+	// Stores is Figure 6.
+	Stores
+	// Loads is Figure 7.
+	Loads
+	// WeightedCycles prices each memory operation at MemLatency
+	// cycles and everything else at one, quantifying the paper's
+	// remark that "if memory operations take more cycles than other
+	// operations, as in many modern machines, the positive impact
+	// of promotion will be greater" (§5).
+	WeightedCycles
+)
+
+// MemLatency is the cycle weight of a load or store in the
+// WeightedCycles metric.
+const MemLatency = 3
+
+func (m Metric) String() string {
+	switch m {
+	case TotalOps:
+		return "Total Operations"
+	case Stores:
+		return "Stores"
+	case Loads:
+		return "Loads"
+	case WeightedCycles:
+		return fmt.Sprintf("Weighted Cycles (memory op = %d)", MemLatency)
+	}
+	return "?"
+}
+
+func (m Metric) pick(c interp.Counts) int64 {
+	switch m {
+	case TotalOps:
+		return c.Ops
+	case Stores:
+		return c.Stores
+	case Loads:
+		return c.Loads
+	default:
+		return c.Ops + (MemLatency-1)*(c.Loads+c.Stores)
+	}
+}
+
+// Row is one (program, analysis) line of a results table.
+type Row struct {
+	Program  string
+	Analysis string
+	Without  int64
+	With     int64
+}
+
+// Difference is Without-With (positive means promotion removed
+// operations).
+func (r Row) Difference() int64 { return r.Without - r.With }
+
+// PercentRemoved matches the paper's "% removed" column.
+func (r Row) PercentRemoved() float64 {
+	if r.Without == 0 {
+		return 0
+	}
+	return 100 * float64(r.Difference()) / float64(r.Without)
+}
+
+// Options tweak the measurement matrix.
+type Options struct {
+	// PointerPromotion enables §3.3 promotion in the "with" columns
+	// (off for the paper's main tables; on for the §3.3 study).
+	PointerPromotion bool
+	// Programs restricts the suite (nil = all).
+	Programs []string
+	// K overrides the register supply (0 = default).
+	K int
+}
+
+// FigureResult holds every row of one figure for all three metrics
+// (the three figures share the same measurement runs).
+type FigureResult struct {
+	Rows map[Metric][]Row
+	// Promotions and Spills index diagnostics by "program/analysis".
+	Promotions map[string]int
+	Spills     map[string]int
+}
+
+// RunFigures executes the full measurement matrix: each program is
+// compiled and run four times ({modref, pointer} × {without, with
+// promotion}), and rows for Figures 5, 6, and 7 are assembled from
+// the same runs. Outputs are cross-checked: a configuration that
+// changes a program's observable output indicates a miscompilation
+// and fails the run.
+func RunFigures(opts Options) (*FigureResult, error) {
+	fr := &FigureResult{
+		Rows:       map[Metric][]Row{},
+		Promotions: map[string]int{},
+		Spills:     map[string]int{},
+	}
+	want := map[string]bool{}
+	for _, n := range opts.Programs {
+		want[n] = true
+	}
+	for _, p := range Suite() {
+		if len(want) > 0 && !want[p.Name] {
+			continue
+		}
+		var outputs []string
+		for _, analysis := range []driver.Analysis{driver.ModRef, driver.PointsTo} {
+			base := driver.Config{Analysis: analysis, K: opts.K}
+			with := base
+			with.Promote = true
+			with.PointerPromote = opts.PointerPromotion
+
+			m0, err := Measure(p, base)
+			if err != nil {
+				return nil, err
+			}
+			m1, err := Measure(p, with)
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, m0.Output, m1.Output)
+			key := p.Name + "/" + analysis.String()
+			fr.Promotions[key] = m1.Promote
+			fr.Spills[key] = m1.Spilled
+			for _, metric := range []Metric{TotalOps, Stores, Loads, WeightedCycles} {
+				fr.Rows[metric] = append(fr.Rows[metric], Row{
+					Program:  p.Name,
+					Analysis: analysis.String(),
+					Without:  metric.pick(m0.Counts),
+					With:     metric.pick(m1.Counts),
+				})
+			}
+		}
+		for _, o := range outputs[1:] {
+			if o != outputs[0] {
+				return nil, fmt.Errorf("%s: configurations disagree on program output", p.Name)
+			}
+		}
+	}
+	return fr, nil
+}
+
+// FormatTable renders one figure in the paper's layout.
+func FormatTable(metric Metric, rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", metric)
+	fmt.Fprintf(&sb, "%-11s %-8s %12s %12s %12s %10s\n",
+		"Program", "analysis", "without", "with", "difference", "% removed")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-11s %-8s %12d %12d %12d %10.2f\n",
+			r.Program, r.Analysis, r.Without, r.With, r.Difference(), r.PercentRemoved())
+	}
+	return sb.String()
+}
+
+// FormatFigure4 renders the program-description table.
+func FormatFigure4() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-11s %6s  %s\n", "Program", "Lines", "Description")
+	for _, p := range Suite() {
+		fmt.Fprintf(&sb, "%-11s %6d  %s\n", p.Name, Lines(p), p.Desc)
+	}
+	return sb.String()
+}

@@ -1,0 +1,50 @@
+/*
+ * allroots — polynomial-root-finder stand-in (paper: allroots, 215
+ * lines, 11 stores total).
+ *
+ * A tiny fixed computation: bisection on a cubic with all state in
+ * locals. The paper reports promotion finds nothing at all here; the
+ * whole run executes only a handful of memory operations.
+ */
+
+double coeff3;
+double coeff2;
+double coeff1;
+double coeff0;
+
+double poly(double x) {
+	return ((coeff3 * x + coeff2) * x + coeff1) * x + coeff0;
+}
+
+double bisect(double lo, double hi) {
+	int it;
+	double mid;
+	mid = lo;
+	for (it = 0; it < 40; it++) {
+		double fm;
+		mid = (lo + hi) / 2.0;
+		fm = poly(mid);
+		if (fm == 0.0) return mid;
+		if ((fm < 0.0) == (poly(lo) < 0.0)) {
+			lo = mid;
+		} else {
+			hi = mid;
+		}
+	}
+	return mid;
+}
+
+int main(void) {
+	double r;
+	coeff3 = 1.0;
+	coeff2 = -6.0;
+	coeff1 = 11.0;
+	coeff0 = -6.0;
+	r = bisect(0.5, 1.5);
+	print_double(r);
+	r = bisect(1.5, 2.5);
+	print_double(r);
+	r = bisect(2.5, 3.5);
+	print_double(r);
+	return 0;
+}

@@ -1,0 +1,71 @@
+/*
+ * caches — cache-simulator stand-in (paper: "caches", a simulator
+ * from the authors' suite).
+ *
+ * A direct-mapped cache simulation over a synthetic address trace.
+ * Hit/miss/writeback counters are global scalars referenced every
+ * access; the tag store is an array. The counters promote inside the
+ * per-access loop.
+ */
+
+int hits;
+int misses;
+int writebacks;
+int accesses;
+
+int tags_[1024];
+int dirty[1024];
+int trace[4096];
+
+void build_trace(void) {
+	int i;
+	int sd;
+	sd = 4242;
+	for (i = 0; i < 4096; i++) {
+		sd = (sd * 1103515245 + 12345) & 1073741823;
+		/* Mix a hot working set with cold far addresses. */
+		if (sd % 4 != 0) {
+			trace[i] = sd % 8192;
+		} else {
+			trace[i] = sd % 1048576;
+		}
+	}
+}
+
+void simulate(void) {
+	int i;
+	for (i = 0; i < 4096; i++) {
+		int addr;
+		int line;
+		int tag;
+		int write;
+		addr = trace[i];
+		line = (addr / 16) % 1024;
+		tag = addr / 16384;
+		write = (addr & 3) == 1;
+		accesses++;
+		if (tags_[line] == tag) {
+			hits++;
+			if (write) dirty[line] = 1;
+		} else {
+			misses++;
+			if (dirty[line]) {
+				writebacks++;
+				dirty[line] = 0;
+			}
+			tags_[line] = tag;
+			if (write) dirty[line] = 1;
+		}
+	}
+}
+
+int main(void) {
+	int round;
+	build_trace();
+	for (round = 0; round < 12; round++) simulate();
+	print_int(accesses);
+	print_int(hits);
+	print_int(misses);
+	print_int(writebacks);
+	return 0;
+}

@@ -1,0 +1,73 @@
+/*
+ * dhrystone — synthetic-benchmark stand-in (paper: dhrystone, 1,000ish
+ * lines).
+ *
+ * The paper reports a slight LOSS from promotion here: "values were
+ * promoted in a loop that always executed once". The measurement loop
+ * below runs its outer body exactly once per call, so each promoted
+ * global costs a landing-pad load and an exit store that buy only one
+ * saved reference.
+ */
+
+int Int_Glob;
+int Bool_Glob;
+int Ch_1_Glob;
+int Ch_2_Glob;
+int Err_Glob;
+int Ovfl_Glob;
+
+int Arr_1_Glob[50];
+
+int Func_1(int ch1, int ch2) {
+	int ch_local;
+	ch_local = ch1;
+	if (ch_local != ch2) return 0;
+	Ch_1_Glob = ch_local;
+	return 1;
+}
+
+void Proc_7(int a, int b, int *out) {
+	*out = a + b + 2;
+}
+
+void Proc_4(void) {
+	int run;
+	/* A "loop" that always executes exactly once: each promoted
+	 * global pays a landing-pad load and an exit store for a single
+	 * iteration of benefit, so promotion nets a small loss here. */
+	run = 1;
+	while (run) {
+		Bool_Glob = (Bool_Glob + Ch_1_Glob + Int_Glob) & 65535;
+		Ch_2_Glob = (Ch_2_Glob ^ Bool_Glob) & 127;
+		Int_Glob = (Int_Glob * 3 + 1) & 65535;
+		Ch_1_Glob = (Ch_1_Glob + Ch_2_Glob) & 127;
+		/* Error accounting that never fires: promotion still lifts
+		 * both globals around the loop, paying a load and a store per
+		 * call for references that never execute. */
+		if (Int_Glob > 100000) {
+			Err_Glob++;
+		}
+		run = 0;
+	}
+}
+
+int main(void) {
+	int i;
+	int result;
+	Int_Glob = 5;
+	for (i = 0; i < 50; i++) Arr_1_Glob[i] = i;
+	for (i = 0; i < 2000; i++) {
+		if ((i & 3) == 0) Proc_4();
+		if (Func_1(i & 127, (i >> 1) & 127)) {
+			Ovfl_Glob = i;
+			Proc_7(i, Int_Glob, &result);
+			Arr_1_Glob[i % 50] = result & 4095;
+		}
+	}
+	print_int(Int_Glob);
+	print_int(Bool_Glob);
+	print_int(Ch_1_Glob + Ch_2_Glob);
+	print_int(Err_Glob + Ovfl_Glob);
+	print_int(Arr_1_Glob[17]);
+	return 0;
+}

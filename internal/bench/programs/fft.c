@@ -1,0 +1,79 @@
+/*
+ * fft — fast-Fourier-transform stand-in (paper: fft, 7,583 lines).
+ *
+ * Two patterns from the paper live here.
+ *
+ * 1. The §5 code fragment where only points-to analysis enables
+ *    promotion: T1 is an address-taken scalar (its address escapes in
+ *    setup) and the inner loop stores through pointer parameters.
+ *    MOD/REF must assume those stores may modify T1; points-to proves
+ *    the pointers only reach the X arrays, so T1 promotes.
+ *
+ * 2. §3.3 pointer-based promotion: the twiddle accumulator is
+ *    accessed through a loop-invariant base pointer in the innermost
+ *    loop.
+ */
+
+int X1[256];
+int X2[256];
+int X3[256];
+
+int T1;
+int stage_count;
+
+void seed_t1(int *p) {
+	*p = 7;
+}
+
+/* x2/x1/x3 are pointer parameters: with MOD/REF alone the stores
+ * through x2 may modify T1; points-to proves they cannot. */
+void butterfly_pass(int *x2, int *x1, int *x3, int n1, int kt) {
+	int i;
+	int j;
+	int k;
+	for (i = 0; i < 4; i++) {
+		for (j = 0; j < 4; j++) {
+			for (k = 0; k < n1; k++) {
+				int index1;
+				index1 = (i * 4 + j) * n1 + k;
+				T1 = (x3[index1 & 255] * kt + T1) & 65535;
+				x2[index1 & 255] = (T1 * x1[index1 & 255]) & 65535;
+				x2[(index1 + n1) & 255] = (T1 * x1[(index1 + n1) & 255]) & 65535;
+			}
+		}
+	}
+}
+
+/* Figure-3 style accumulation: B[i] is invariant in the inner loop,
+ * so pointer-based promotion keeps it in a register. */
+void accumulate_rows(void) {
+	int i;
+	int j;
+	for (i = 0; i < 16; i++) {
+		for (j = 0; j < 16; j++) {
+			X3[i] += X1[(i * 16 + j) & 255];
+			X3[i] &= 1048575;
+		}
+	}
+}
+
+int main(void) {
+	int i;
+	int pass;
+	int check;
+	for (i = 0; i < 256; i++) {
+		X1[i] = (i * 7 + 3) & 4095;
+		X2[i] = 0;
+		X3[i] = (i * 13 + 1) & 4095;
+	}
+	seed_t1(&T1);
+	for (pass = 1; pass <= 8; pass++) {
+		butterfly_pass(X2, X1, X3, 8, pass);
+		stage_count++;
+	}
+	accumulate_rows();
+	check = T1 ^ stage_count;
+	for (i = 0; i < 256; i++) check = (check * 31 + X2[i] + X3[i]) & 1048575;
+	print_int(check);
+	return 0;
+}

@@ -1,0 +1,114 @@
+/*
+ * geb — graphics-compression stand-in (paper: geb, SPEC graphics
+ * compression code).
+ *
+ * Run-length + delta encoding of a synthetic image with a global bit
+ * buffer (bit position, byte count, checksum) updated per emitted
+ * symbol. The bit-buffer scalars promote in the encode loops (paper
+ * shows mid-range improvements for geb: ~15% of stores).
+ */
+
+int bitbuf;
+int bitcount;
+int bytes_out;
+int checksum;
+
+char image[4096];
+char out[8192];
+
+/* Bit emission is open-coded inside the encode loop (as in the
+ * original's macro-expanded inner loop), so the bit-buffer globals
+ * stay explicit in the hot loop rather than hiding behind a call. */
+
+void build_image(void) {
+	int i;
+	int sd;
+	sd = 1234;
+	for (i = 0; i < 4096; i++) {
+		sd = (sd * 1103515245 + 12345) & 1073741823;
+		/* Smooth gradients with occasional noise, so runs exist. */
+		if (sd % 8 == 0) {
+			image[i] = sd % 256;
+		} else {
+			image[i] = (i / 16) % 256;
+		}
+	}
+}
+
+void encode(void) {
+	int i;
+	int prev;
+	int run;
+	int sym;
+	int width;
+	prev = -1;
+	run = 0;
+	for (i = 0; i < 4096; i++) {
+		int px;
+		px = image[i] & 255;
+		if (px == prev && run < 63) {
+			run++;
+		} else {
+			if (run > 0) {
+				sym = (1 << 6) | run;
+				width = 8;
+				bitbuf = (bitbuf << width) | (sym & 255);
+				bitcount += width;
+				while (bitcount >= 8) {
+					int b;
+					bitcount -= 8;
+					b = (bitbuf >> bitcount) & 255;
+					out[bytes_out & 8191] = b;
+					bytes_out++;
+					checksum = (checksum * 31 + b) & 1048575;
+				}
+			}
+			run = 0;
+			/* delta-encode against previous pixel */
+			if (prev >= 0 && px - prev < 8 && prev - px < 8) {
+				sym = (2 << 4) | (px - prev + 8);
+				width = 6;
+			} else {
+				sym = (3 << 8) | px;
+				width = 10;
+			}
+			bitbuf = (bitbuf << width) | sym;
+			bitcount += width;
+			while (bitcount >= 8) {
+				int b;
+				bitcount -= 8;
+				b = (bitbuf >> bitcount) & 255;
+				out[bytes_out & 8191] = b;
+				bytes_out++;
+				checksum = (checksum * 31 + b) & 1048575;
+			}
+			prev = px;
+		}
+	}
+	if (run > 0) {
+		bitbuf = (bitbuf << 8) | ((1 << 6) | run);
+		bitcount += 8;
+		while (bitcount >= 8) {
+			int b;
+			bitcount -= 8;
+			b = (bitbuf >> bitcount) & 255;
+			out[bytes_out & 8191] = b;
+			bytes_out++;
+			checksum = (checksum * 31 + b) & 1048575;
+		}
+	}
+}
+
+int main(void) {
+	int round;
+	build_image();
+	for (round = 0; round < 8; round++) {
+		bitbuf = 0;
+		bitcount = 0;
+		bytes_out = 0;
+		encode();
+	}
+	print_int(bytes_out);
+	print_int(checksum);
+	return 0;
+}

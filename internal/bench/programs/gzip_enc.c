@@ -1,0 +1,94 @@
+/*
+ * gzip(enc) — LZ77-compressor stand-in (paper: gzip compressing,
+ * 1.75–2.15% of operations removed).
+ *
+ * Hash-chain match finding over a synthetic input window. The
+ * literal/match/offset counters are global scalars that are hot in
+ * the deflate loop, while the hash table and window are arrays; the
+ * match-length scan is pure local work, so promotion wins a small
+ * but visible slice of operations.
+ */
+
+int literals;
+int match_bits;
+int longest;
+int positions;
+
+char window[8192];
+int head[256];
+int prev[8192];
+
+void build_input(void) {
+	int i;
+	int sd;
+	sd = 777;
+	for (i = 0; i < 8192; i++) {
+		sd = (sd * 1103515245 + 12345) & 1073741823;
+		/* Biased alphabet so matches occur. */
+		if (sd % 3 == 0) {
+			window[i] = 'a' + sd % 4;
+		} else {
+			window[i] = 'a' + sd % 16;
+		}
+	}
+}
+
+int hash3(int pos) {
+	int h;
+	h = window[pos] * 33 + window[pos + 1];
+	h = h * 33 + window[pos + 2];
+	return h & 255;
+}
+
+int match_len(int a, int b, int limit) {
+	int n;
+	n = 0;
+	while (n < limit && window[a + n] == window[b + n]) n++;
+	return n;
+}
+
+void deflate(void) {
+	int i;
+	for (i = 0; i < 256; i++) head[i] = -1;
+	for (i = 0; i < 8000; i++) {
+		int h;
+		int cand;
+		int best;
+		int chain;
+		positions++;
+		h = hash3(i);
+		cand = head[h];
+		best = 0;
+		chain = 0;
+		while (cand >= 0 && chain < 8) {
+			int len;
+			len = match_len(cand, i, 32);
+			if (len > best) best = len;
+			cand = prev[cand & 8191];
+			chain++;
+		}
+		if (best >= 3) {
+			match_bits += 12;
+			match_bits &= 1048575;
+			if (best > longest) longest = best;
+		} else {
+			literals++;
+		}
+		prev[i & 8191] = head[h];
+		head[h] = i;
+	}
+}
+
+int main(void) {
+	int round;
+	build_input();
+	for (round = 0; round < 3; round++) {
+		literals = 0;
+		deflate();
+	}
+	print_int(literals);
+	print_int(match_bits);
+	print_int(longest);
+	print_int(positions);
+	return 0;
+}

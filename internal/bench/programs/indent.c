@@ -1,0 +1,79 @@
+/*
+ * indent — C-prettyprinter stand-in (paper: indent, 5,955 lines).
+ *
+ * A character-at-a-time scanner over a global buffer driving a global
+ * state machine (paren depth, brace depth, in-comment flag, output
+ * column). The state globals are read and written on every character
+ * and nothing in the loop can alias them, so promotion removes a few
+ * per cent of the program's stores (paper: 3.98%).
+ */
+
+int paren_depth;
+int brace_depth;
+int in_comment;
+int column;
+int lines_out;
+int stars;
+
+char src[2048];
+int srclen;
+
+void emit_char(int c) {
+	if (c == 10) lines_out++;
+}
+
+void fill_source(void) {
+	int i;
+	int sd;
+	sd = 31;
+	srclen = 2048;
+	for (i = 0; i < srclen; i++) {
+		int r;
+		sd = (sd * 1103515245 + 12345) & 1073741823;
+		r = sd % 16;
+		if (r == 0) src[i] = '(';
+		else if (r == 1) src[i] = ')';
+		else if (r == 2) src[i] = '{';
+		else if (r == 3) src[i] = '}';
+		else if (r == 4) src[i] = '/';
+		else if (r == 5) src[i] = '*';
+		else if (r == 6) src[i] = 10;
+		else src[i] = 'a' + r;
+	}
+}
+
+void scan(void) {
+	int i;
+	for (i = 0; i < srclen; i++) {
+		int c;
+		c = src[i];
+		if (in_comment) {
+			if (c == '*') stars++;
+			if (c == '/' && i > 0 && src[i - 1] == '*') in_comment = 0;
+		} else {
+			if (c == '(') paren_depth++;
+			if (c == ')' && paren_depth > 0) paren_depth--;
+			if (c == '{') brace_depth++;
+			if (c == '}' && brace_depth > 0) brace_depth--;
+			if (c == '/' && i + 1 < srclen && src[i + 1] == '*') in_comment = 1;
+		}
+		if (c == 10) {
+			column = brace_depth * 8;
+		} else {
+			column++;
+		}
+		emit_char(c);
+	}
+}
+
+int main(void) {
+	int pass;
+	fill_source();
+	for (pass = 0; pass < 6; pass++) scan();
+	print_int(paren_depth);
+	print_int(brace_depth);
+	print_int(column);
+	print_int(lines_out);
+	print_int(stars);
+	return 0;
+}

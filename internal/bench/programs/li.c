@@ -1,0 +1,98 @@
+/*
+ * li — lisp-interpreter stand-in (paper: SPEC li / xlisp).
+ *
+ * A miniature list machine: heap-allocated cons cells built with
+ * malloc, recursive list operations, and a small amount of global
+ * bookkeeping. Heap-heavy pointer code gives promotion very little
+ * purchase; the paper reports near-zero change for li.
+ */
+
+struct cell {
+	int val;
+	struct cell *next;
+};
+
+int conses;
+int gcs;
+
+struct cell *freelist;
+
+struct cell *cons(int v, struct cell *rest) {
+	struct cell *c;
+	if (freelist != 0) {
+		c = freelist;
+		freelist = freelist->next;
+	} else {
+		c = (struct cell *) malloc(sizeof(struct cell));
+	}
+	c->val = v;
+	c->next = rest;
+	conses++;
+	return c;
+}
+
+void release(struct cell *l) {
+	while (l != 0) {
+		struct cell *n;
+		n = l->next;
+		l->next = freelist;
+		freelist = l;
+		l = n;
+		gcs++;
+	}
+}
+
+struct cell *build_list(int n, int sd) {
+	struct cell *l;
+	int i;
+	l = 0;
+	for (i = 0; i < n; i++) {
+		sd = (sd * 1103515245 + 12345) & 1073741823;
+		l = cons(sd % 1000, l);
+	}
+	return l;
+}
+
+int sum_list(struct cell *l) {
+	int s;
+	s = 0;
+	while (l != 0) {
+		s = (s + l->val) & 1048575;
+		l = l->next;
+	}
+	return s;
+}
+
+struct cell *map_double(struct cell *l) {
+	struct cell *out;
+	out = 0;
+	while (l != 0) {
+		out = cons((l->val * 2) & 65535, out);
+		l = l->next;
+	}
+	return out;
+}
+
+int length(struct cell *l) {
+	if (l == 0) return 0;
+	return 1 + length(l->next);
+}
+
+int main(void) {
+	int round;
+	int check;
+	check = 0;
+	for (round = 0; round < 30; round++) {
+		struct cell *l;
+		struct cell *m;
+		l = build_list(40, round * 13 + 1);
+		m = map_double(l);
+		check = (check * 31 + sum_list(l) + sum_list(m) + length(m)) & 1048575;
+		release(l);
+		release(m);
+	}
+	print_int(check);
+	print_int(conses);
+	print_int(gcs);
+	return 0;
+}

@@ -1,0 +1,92 @@
+/*
+ * mlink — genetic-linkage stand-in (paper: 28,553-line MLINK from
+ * FASTLINK).
+ *
+ * The paper's biggest promotion win: hot global accumulators updated
+ * inside deeply nested likelihood loops that also call routines whose
+ * MOD/REF summaries show they leave the accumulators alone. Promotion
+ * turns the per-iteration store traffic into register updates with a
+ * single store at each loop exit (57% of stores, 29% of loads in the
+ * paper).
+ */
+
+int like_num;
+int like_den;
+int recomb_sum;
+int theta_steps;
+int scale_events;
+
+int genotab[64];
+int penetrance[64];
+
+int seed = 99;
+
+int nextrand(void) {
+	seed = (seed * 1103515245 + 12345) & 1073741823;
+	return seed;
+}
+
+/* Touches only its own state; MOD/REF proves it leaves the
+ * accumulators alone. */
+int pen_lookup(int g) {
+	return penetrance[g & 63];
+}
+
+int geno_prob(int g, int theta) {
+	int p;
+	p = genotab[g & 63] * theta + pen_lookup(g);
+	return p & 65535;
+}
+
+void scale_check(int v) {
+	if (v > 60000) scale_events++;
+}
+
+void peel_family(int fam, int theta) {
+	int child;
+	int g1;
+	int g2;
+	for (child = 0; child < 6; child++) {
+		for (g1 = 0; g1 < 8; g1++) {
+			for (g2 = 0; g2 < 8; g2++) {
+				int p;
+				p = geno_prob(fam * 8 + g1 * 8 + g2, theta);
+				/* The hot accumulators: explicit global refs in the
+				 * innermost loop. */
+				like_num += p;
+				like_num &= 1048575;
+				like_den += (p >> 3) + 1;
+				like_den &= 1048575;
+				if (g1 != g2) {
+					recomb_sum += theta;
+					recomb_sum &= 1048575;
+				}
+				scale_check(like_num);
+			}
+		}
+	}
+}
+
+int main(void) {
+	int i;
+	int fam;
+	int theta;
+	for (i = 0; i < 64; i++) {
+		genotab[i] = nextrand() % 97;
+		penetrance[i] = nextrand() % 13;
+	}
+	like_num = 1;
+	like_den = 1;
+	for (theta = 1; theta <= 10; theta++) {
+		theta_steps++;
+		for (fam = 0; fam < 12; fam++) {
+			peel_family(fam, theta);
+		}
+	}
+	print_int(like_num);
+	print_int(like_den);
+	print_int(recomb_sum);
+	print_int(theta_steps);
+	print_int(scale_events);
+	return 0;
+}

@@ -1,0 +1,116 @@
+/*
+ * tsp — traveling-salesman stand-in (paper: 760-line TSP solver).
+ *
+ * Nearest-neighbour tour construction plus 2-opt improvement over a
+ * synthetic distance matrix. Working state lives in locals and
+ * arrays, so scalar promotion finds essentially nothing to do here;
+ * the paper reports exactly zero effect on tsp.
+ */
+
+int dist[40][40];
+int tour[41];
+int visited[40];
+int seed = 12345;
+
+int nextrand(void) {
+	seed = (seed * 1103515245 + 12345) & 1073741823;
+	return seed;
+}
+
+void build_distances(void) {
+	int i;
+	int j;
+	int x[40];
+	int y[40];
+	for (i = 0; i < 40; i++) {
+		x[i] = nextrand() % 1000;
+		y[i] = nextrand() % 1000;
+	}
+	for (i = 0; i < 40; i++) {
+		for (j = 0; j < 40; j++) {
+			int dx;
+			int dy;
+			dx = x[i] - x[j];
+			dy = y[i] - y[j];
+			if (dx < 0) dx = -dx;
+			if (dy < 0) dy = -dy;
+			dist[i][j] = dx + dy;
+		}
+	}
+}
+
+int nearest_unvisited(int from) {
+	int best;
+	int bestd;
+	int j;
+	best = -1;
+	bestd = 1000000;
+	for (j = 0; j < 40; j++) {
+		if (!visited[j] && dist[from][j] < bestd) {
+			bestd = dist[from][j];
+			best = j;
+		}
+	}
+	return best;
+}
+
+int tour_length(void) {
+	int i;
+	int len;
+	len = 0;
+	for (i = 0; i < 40; i++) len += dist[tour[i]][tour[i + 1]];
+	return len;
+}
+
+void two_opt(void) {
+	int improved;
+	int i;
+	int j;
+	improved = 1;
+	while (improved) {
+		improved = 0;
+		for (i = 1; i < 38; i++) {
+			for (j = i + 1; j < 39; j++) {
+				int before;
+				int after;
+				before = dist[tour[i - 1]][tour[i]] + dist[tour[j]][tour[j + 1]];
+				after = dist[tour[i - 1]][tour[j]] + dist[tour[i]][tour[j + 1]];
+				if (after < before) {
+					int lo;
+					int hi;
+					lo = i;
+					hi = j;
+					while (lo < hi) {
+						int t;
+						t = tour[lo];
+						tour[lo] = tour[hi];
+						tour[hi] = t;
+						lo++;
+						hi--;
+					}
+					improved = 1;
+				}
+			}
+		}
+	}
+}
+
+int main(void) {
+	int i;
+	int cur;
+	build_distances();
+	for (i = 0; i < 40; i++) visited[i] = 0;
+	cur = 0;
+	visited[0] = 1;
+	tour[0] = 0;
+	for (i = 1; i < 40; i++) {
+		cur = nearest_unvisited(cur);
+		visited[cur] = 1;
+		tour[i] = cur;
+	}
+	tour[40] = 0;
+	print_int(tour_length());
+	two_opt();
+	print_int(tour_length());
+	return 0;
+}

@@ -1,0 +1,94 @@
+/*
+ * water — molecular-dynamics stand-in (paper: SPEC water).
+ *
+ * Reproduces the paper's register-pressure anecdote: one loop nest
+ * references twenty-eight distinct promotable global scalars every
+ * iteration, while the loop already keeps a large set of local
+ * running values (positions, velocities, partial forces) in
+ * registers. Promotion moves all twenty-eight globals into registers
+ * too; the combined demand far exceeds the 32-register supply and the
+ * allocator must spill values that are touched every iteration —
+ * "promoting twenty-eight values ... caused the register allocator to
+ * spill values which resulted in a performance loss" (§5).
+ */
+
+int v00; int v01; int v02; int v03; int v04; int v05; int v06;
+int v07; int v08; int v09; int v10; int v11; int v12; int v13;
+int v14; int v15; int v16; int v17; int v18; int v19; int v20;
+int v21; int v22; int v23; int v24; int v25; int v26; int v27;
+
+int forces[128];
+
+int main(void) {
+	int step;
+	int mol;
+	/* Thirty-two loop-carried locals: the baseline register working
+	 * set already matches the machine's register supply. */
+	int x0; int x1; int x2; int x3; int x4; int x5; int x6; int x7;
+	int y0; int y1; int y2; int y3; int y4; int y5; int y6; int y7;
+	int z0; int z1; int z2; int z3; int z4; int z5; int z6; int z7;
+	int w0; int w1; int w2; int w3; int w4; int w5; int w6; int w7;
+	x0 = 1; x1 = 2; x2 = 3; x3 = 4; x4 = 5; x5 = 6; x6 = 7; x7 = 8;
+	y0 = 1; y1 = 1; y2 = 2; y3 = 3; y4 = 5; y5 = 8; y6 = 13; y7 = 21;
+	z0 = 2; z1 = 4; z2 = 8; z3 = 16; z4 = 32; z5 = 64; z6 = 128; z7 = 256;
+	w0 = 3; w1 = 9; w2 = 27; w3 = 81; w4 = 5; w5 = 25; w6 = 125; w7 = 625;
+	for (step = 0; step < 40; step++) {
+		for (mol = 0; mol < 64; mol++) {
+			int f;
+			f = forces[(mol * 2 + step) & 127];
+			/* Local dynamics: every x/y is read and written each
+			 * iteration, keeping all sixteen live across the loop. */
+			x0 = (x0 + f) & 65535;      y0 = (y0 ^ x0) & 65535;
+			x1 = (x1 + y0) & 65535;     y1 = (y1 ^ x1) & 65535;
+			x2 = (x2 + y1) & 65535;     y2 = (y2 ^ x2) & 65535;
+			x3 = (x3 + y2) & 65535;     y3 = (y3 ^ x3) & 65535;
+			x4 = (x4 + y3) & 65535;     y4 = (y4 ^ x4) & 65535;
+			x5 = (x5 + y4) & 65535;     y5 = (y5 ^ x5) & 65535;
+			x6 = (x6 + y5) & 65535;     y6 = (y6 ^ x6) & 65535;
+			x7 = (x7 + y6) & 65535;     y7 = (y7 ^ x7) & 65535;
+			z0 = (z0 + y7) & 65535;     z1 = (z1 ^ z0) & 65535;
+			z2 = (z2 + z1) & 65535;     z3 = (z3 ^ z2) & 65535;
+			z4 = (z4 + z3) & 65535;     z5 = (z5 ^ z4) & 65535;
+			z6 = (z6 + z5) & 65535;     z7 = (z7 ^ z6) & 65535;
+			w0 = (w0 + z7) & 65535;     w1 = (w1 ^ w0) & 65535;
+			w2 = (w2 + w1) & 65535;     w3 = (w3 ^ w2) & 65535;
+			w4 = (w4 + w3) & 65535;     w5 = (w5 ^ w4) & 65535;
+			w6 = (w6 + w5) & 65535;     w7 = (w7 ^ w6) & 65535;
+			/* Global virial/potential accumulators: all twenty-eight
+			 * are promotable in this loop nest. */
+			v00 += f;       v00 &= 262143;
+			v01 += v00 ^ f; v01 &= 262143;
+			v02 += v01 + 3; v02 &= 262143;
+			v03 += v02 ^ f; v03 &= 262143;
+			v04 += v03 + 5; v04 &= 262143;
+			v05 += v04 ^ f; v05 &= 262143;
+			v06 += v05 + 7; v06 &= 262143;
+			v07 += v06 ^ f; v07 &= 262143;
+			v08 += v07 + 9; v08 &= 262143;
+			v09 += v08 ^ f; v09 &= 262143;
+			v10 += v09 + 2; v10 &= 262143;
+			v11 += v10 ^ f; v11 &= 262143;
+			v12 += v11 + 4; v12 &= 262143;
+			v13 += v12 ^ f; v13 &= 262143;
+			v14 += v13 + 6; v14 &= 262143;
+			v15 += v14 ^ f; v15 &= 262143;
+			v16 += v15 + 8; v16 &= 262143;
+			v17 += v16 ^ f; v17 &= 262143;
+			v18 += v17 + 1; v18 &= 262143;
+			v19 += v18 ^ f; v19 &= 262143;
+			v20 += v19 + 3; v20 &= 262143;
+			v21 += v20 ^ f; v21 &= 262143;
+			v22 += v21 + 5; v22 &= 262143;
+			v23 += v22 ^ f; v23 &= 262143;
+			v24 += v23 + 7; v24 &= 262143;
+			v25 += v24 ^ f; v25 &= 262143;
+			v26 += v25 + 9; v26 &= 262143;
+			v27 += v26 ^ f; v27 &= 262143;
+			forces[mol & 127] = (v27 ^ x7 ^ y7 ^ z7 ^ w7) & 4095;
+		}
+	}
+	print_int(x0 ^ x3 ^ x7 ^ y2 ^ y5 ^ y7 ^ z1 ^ z6 ^ w1 ^ w5 ^ w7);
+	print_int(v00 ^ v05 ^ v10 ^ v15 ^ v20 ^ v27);
+	print_int(v13);
+	return 0;
+}

@@ -1,0 +1,159 @@
+// Package callgraph builds the program call graph, finds its strongly
+// connected components with Tarjan's algorithm, and orders the SCCs
+// reverse-topologically — the order the MOD/REF analysis processes
+// them in (§4: "Processing the SCCs in reverse topological order
+// ensures that the tag set of any called function not in the current
+// SCC has already been calculated").
+package callgraph
+
+import (
+	"sort"
+
+	"regpromo/internal/ir"
+)
+
+// Graph is a call graph over the module's defined functions.
+type Graph struct {
+	mod *ir.Module
+
+	// Callees maps a function to the set of functions it may call
+	// directly or through a function pointer. Calls to intrinsics
+	// and undefined functions are not edges.
+	Callees map[string][]string
+
+	// HasIndirect marks functions containing indirect calls.
+	HasIndirect map[string]bool
+
+	// SCCs lists components in reverse topological order (callees
+	// before callers). Each component lists its member function
+	// names sorted.
+	SCCs [][]string
+
+	// sccOf maps a function name to its SCC index.
+	sccOf map[string]int
+}
+
+// Build constructs the call graph. Indirect calls conservatively
+// target every addressed function (§4).
+func Build(mod *ir.Module) *Graph {
+	g := &Graph{
+		mod:         mod,
+		Callees:     make(map[string][]string),
+		HasIndirect: make(map[string]bool),
+		sccOf:       make(map[string]int),
+	}
+	for _, fn := range mod.FuncsInOrder() {
+		seen := map[string]bool{}
+		var callees []string
+		addCallee := func(name string) {
+			if _, defined := mod.Funcs[name]; !defined {
+				return
+			}
+			if !seen[name] {
+				seen[name] = true
+				callees = append(callees, name)
+			}
+		}
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpJsr {
+					continue
+				}
+				if in.Callee != "" {
+					addCallee(in.Callee)
+					continue
+				}
+				g.HasIndirect[fn.Name] = true
+				// Points-to analysis may have pinned the possible
+				// targets; otherwise any addressed function.
+				targets := in.Targets
+				if targets == nil {
+					targets = mod.AddressedFuncs
+				}
+				for _, t := range targets {
+					addCallee(t)
+				}
+			}
+		}
+		sort.Strings(callees)
+		g.Callees[fn.Name] = callees
+	}
+	g.computeSCCs()
+	return g
+}
+
+// SCCOf returns the index (into SCCs) of fn's component.
+func (g *Graph) SCCOf(fn string) int { return g.sccOf[fn] }
+
+// InCycle reports whether fn can (transitively) call itself: its SCC
+// has more than one member, or it calls itself directly.
+func (g *Graph) InCycle(fn string) bool {
+	idx, ok := g.sccOf[fn]
+	if !ok {
+		return false
+	}
+	if len(g.SCCs[idx]) > 1 {
+		return true
+	}
+	for _, c := range g.Callees[fn] {
+		if c == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// computeSCCs runs Tarjan's algorithm. Tarjan emits components in
+// reverse topological order of the condensation (callees first),
+// which is exactly the processing order MOD/REF needs.
+func (g *Graph) computeSCCs() {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+
+	var strongConnect func(v string)
+	strongConnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Callees[v] {
+			if _, visited := index[w]; !visited {
+				strongConnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			idx := len(g.SCCs)
+			for _, w := range comp {
+				g.sccOf[w] = idx
+			}
+			g.SCCs = append(g.SCCs, comp)
+		}
+	}
+
+	for _, name := range g.mod.FuncOrder {
+		if _, visited := index[name]; !visited {
+			strongConnect(name)
+		}
+	}
+}

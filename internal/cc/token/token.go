@@ -1,0 +1,171 @@
+// Package token defines the lexical tokens of the C subset accepted by
+// the front end.
+package token
+
+import "fmt"
+
+// Kind identifies a token class.
+type Kind int
+
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	FloatLit
+	CharLit
+	StringLit
+
+	// Keywords.
+	KwBreak
+	KwChar
+	KwConst
+	KwContinue
+	KwDo
+	KwDouble
+	KwElse
+	KwEnum
+	KwExtern
+	KwFor
+	KwIf
+	KwInt
+	KwLong
+	KwReturn
+	KwSizeof
+	KwStatic
+	KwStruct
+	KwUnsigned
+	KwVoid
+	KwWhile
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Semi     // ;
+	Comma    // ,
+	Dot      // .
+	Arrow    // ->
+	Ellipsis // ...
+
+	Assign     // =
+	PlusAssign // +=
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	ShlAssign
+	ShrAssign
+	AndAssign
+	OrAssign
+	XorAssign
+
+	Question // ?
+	Colon    // :
+
+	OrOr   // ||
+	AndAnd // &&
+	Or     // |
+	Xor    // ^
+	And    // &
+	Eq     // ==
+	NotEq  // !=
+	Lt     // <
+	Le     // <=
+	Gt     // >
+	Ge     // >=
+	Shl    // <<
+	Shr    // >>
+	Plus   // +
+	Minus  // -
+	Star   // *
+	Slash  // /
+	Percent
+	Not   // !
+	Tilde // ~
+	Inc   // ++
+	Dec   // --
+)
+
+var names = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer literal",
+	FloatLit: "float literal", CharLit: "char literal", StringLit: "string literal",
+	KwBreak: "break", KwChar: "char", KwConst: "const", KwContinue: "continue",
+	KwDo: "do", KwDouble: "double", KwElse: "else", KwEnum: "enum",
+	KwExtern: "extern", KwFor: "for", KwIf: "if", KwInt: "int", KwLong: "long",
+	KwReturn: "return", KwSizeof: "sizeof", KwStatic: "static",
+	KwStruct: "struct", KwUnsigned: "unsigned", KwVoid: "void", KwWhile: "while",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBracket: "[",
+	RBracket: "]", Semi: ";", Comma: ",", Dot: ".", Arrow: "->", Ellipsis: "...",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PercentAssign: "%=", ShlAssign: "<<=", ShrAssign: ">>=",
+	AndAssign: "&=", OrAssign: "|=", XorAssign: "^=",
+	Question: "?", Colon: ":", OrOr: "||", AndAnd: "&&", Or: "|", Xor: "^",
+	And: "&", Eq: "==", NotEq: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	Shl: "<<", Shr: ">>", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", Not: "!", Tilde: "~", Inc: "++", Dec: "--",
+}
+
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"break": KwBreak, "char": KwChar, "const": KwConst, "continue": KwContinue,
+	"do": KwDo, "double": KwDouble, "else": KwElse, "enum": KwEnum,
+	"extern": KwExtern, "for": KwFor, "if": KwIf, "int": KwInt, "long": KwLong,
+	"return": KwReturn, "sizeof": KwSizeof, "static": KwStatic,
+	"struct": KwStruct, "unsigned": KwUnsigned, "void": KwVoid, "while": KwWhile,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+
+	// Text is the identifier or literal spelling.
+	Text string
+	// Int is the decoded value of IntLit and CharLit tokens.
+	Int int64
+	// Float is the decoded value of FloatLit tokens.
+	Float float64
+	// Str is the decoded value of StringLit tokens (escapes
+	// processed, no terminating NUL).
+	Str string
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return t.Text
+	case IntLit:
+		return fmt.Sprintf("%d", t.Int)
+	case FloatLit:
+		return fmt.Sprintf("%g", t.Float)
+	case CharLit:
+		return fmt.Sprintf("%q", rune(t.Int))
+	case StringLit:
+		return fmt.Sprintf("%q", t.Str)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,121 @@
+package types
+
+import "testing"
+
+func TestBasicSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		size int
+	}{
+		{CharType, 1},
+		{IntType, 4},
+		{LongType, 8},
+		{DoubleType, 8},
+		{PointerTo(IntType), 8},
+		{ArrayOf(IntType, 10), 40},
+		{ArrayOf(ArrayOf(CharType, 3), 4), 12},
+		{VoidType, 0},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.size {
+			t.Errorf("%s size = %d, want %d", c.t, got, c.size)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	s := &Type{Kind: Struct, StructName: "s", Fields: []Field{
+		{Name: "c", Type: CharType},
+		{Name: "d", Type: DoubleType},
+		{Name: "i", Type: IntType},
+	}}
+	s.LayOut()
+	if s.Fields[0].Offset != 0 {
+		t.Errorf("c offset = %d", s.Fields[0].Offset)
+	}
+	if s.Fields[1].Offset != 8 {
+		t.Errorf("d offset = %d (must align to 8)", s.Fields[1].Offset)
+	}
+	if s.Fields[2].Offset != 16 {
+		t.Errorf("i offset = %d", s.Fields[2].Offset)
+	}
+	if s.Size() != 24 {
+		t.Errorf("size = %d (must pad to alignment)", s.Size())
+	}
+	if s.Align() != 8 {
+		t.Errorf("align = %d", s.Align())
+	}
+}
+
+func TestStructFieldLookup(t *testing.T) {
+	s := &Type{Kind: Struct, StructName: "s", Fields: []Field{
+		{Name: "x", Type: IntType},
+	}}
+	s.LayOut()
+	if f, ok := s.FieldByName("x"); !ok || f.Type != IntType {
+		t.Fatal("lookup x failed")
+	}
+	if _, ok := s.FieldByName("y"); ok {
+		t.Fatal("phantom field")
+	}
+}
+
+func TestEquality(t *testing.T) {
+	if !Equal(PointerTo(IntType), PointerTo(IntType)) {
+		t.Error("pointer equality")
+	}
+	if Equal(PointerTo(IntType), PointerTo(CharType)) {
+		t.Error("distinct pointees")
+	}
+	if !Equal(ArrayOf(IntType, 3), ArrayOf(IntType, 3)) {
+		t.Error("array equality")
+	}
+	if Equal(ArrayOf(IntType, 3), ArrayOf(IntType, 4)) {
+		t.Error("array lengths differ")
+	}
+	f1 := FuncOf(IntType, []*Type{IntType}, false)
+	f2 := FuncOf(IntType, []*Type{IntType}, false)
+	f3 := FuncOf(IntType, []*Type{IntType}, true)
+	if !Equal(f1, f2) || Equal(f1, f3) {
+		t.Error("function equality")
+	}
+	s1 := &Type{Kind: Struct, StructName: "a"}
+	s2 := &Type{Kind: Struct, StructName: "a"}
+	s3 := &Type{Kind: Struct, StructName: "b"}
+	if !Equal(s1, s2) || Equal(s1, s3) {
+		t.Error("struct equality is by name")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if !IntType.IsInteger() || !IntType.IsArith() || !IntType.IsScalar() {
+		t.Error("int classification")
+	}
+	if DoubleType.IsInteger() || !DoubleType.IsArith() {
+		t.Error("double classification")
+	}
+	p := PointerTo(VoidType)
+	if p.IsArith() || !p.IsScalar() {
+		t.Error("pointer classification")
+	}
+	arr := ArrayOf(IntType, 2)
+	if arr.IsScalar() {
+		t.Error("array is not scalar")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]*Type{
+		"int":        IntType,
+		"char*":      PointerTo(CharType),
+		"int[4]":     ArrayOf(IntType, 4),
+		"struct s":   {Kind: Struct, StructName: "s"},
+		"int(int)":   FuncOf(IntType, []*Type{IntType}, false),
+		"double*[2]": ArrayOf(PointerTo(DoubleType), 2),
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package cfg provides control-flow-graph analyses and normalizations
+// over the IL: dominators via the Lengauer–Tarjan algorithm [15],
+// natural-loop-nest identification (§3.1 step 3 of the paper), and the
+// loop landing pads and dedicated exit blocks the promotion rewrite
+// relies on (§3.2: "each loop has an explicit landing pad before its
+// header and an explicit exit block").
+package cfg
+
+import "regpromo/internal/ir"
+
+// DomTree holds immediate-dominator information for one function.
+type DomTree struct {
+	fn *ir.Func
+	// idom[b.ID] is b's immediate dominator (nil for the entry and
+	// unreachable blocks).
+	idom []*ir.Block
+	// children is the dominator tree.
+	children [][]*ir.Block
+	// order is a reverse-postorder numbering of reachable blocks.
+	order []*ir.Block
+	num   []int
+}
+
+// Idom returns b's immediate dominator (nil for the entry block).
+func (d *DomTree) Idom(b *ir.Block) *ir.Block { return d.idom[b.ID] }
+
+// Children returns the dominator-tree children of b.
+func (d *DomTree) Children(b *ir.Block) []*ir.Block { return d.children[b.ID] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *ir.Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = d.idom[b.ID]
+	}
+	return false
+}
+
+// ReversePostorder returns reachable blocks in reverse postorder.
+func (d *DomTree) ReversePostorder() []*ir.Block { return d.order }
+
+// Dominators computes the dominator tree of fn using the
+// Lengauer–Tarjan algorithm with simple path compression. Blocks must
+// be densely numbered (fn.Renumber).
+func Dominators(fn *ir.Func) *DomTree {
+	n := len(fn.Blocks)
+	d := &DomTree{
+		fn:       fn,
+		idom:     make([]*ir.Block, n),
+		children: make([][]*ir.Block, n),
+		num:      make([]int, n),
+	}
+
+	// DFS numbering.
+	semi := make([]int, n) // semidominator number, by dfs number
+	vertex := make([]*ir.Block, 0, n)
+	parent := make([]int, n) // dfs parent, by dfs number
+	dfn := make([]int, n)    // block id -> dfs number (+1; 0 = unreached)
+	var dfs func(b *ir.Block, p int)
+	dfs = func(b *ir.Block, p int) {
+		if dfn[b.ID] != 0 {
+			return
+		}
+		dfn[b.ID] = len(vertex) + 1
+		parent[len(vertex)] = p
+		semi[len(vertex)] = len(vertex)
+		vertex = append(vertex, b)
+		for _, s := range b.Succs {
+			dfs(s, dfn[b.ID]-1)
+		}
+	}
+	dfs(fn.Entry, -1)
+	m := len(vertex)
+
+	// Union-find with path compression on dfs numbers, tracking the
+	// minimum-semidominator vertex on the path.
+	ancestor := make([]int, m)
+	label := make([]int, m)
+	for i := range ancestor {
+		ancestor[i] = -1
+		label[i] = i
+	}
+	var compress func(v int)
+	compress = func(v int) {
+		if ancestor[ancestor[v]] == -1 {
+			return
+		}
+		compress(ancestor[v])
+		if semi[label[ancestor[v]]] < semi[label[v]] {
+			label[v] = label[ancestor[v]]
+		}
+		ancestor[v] = ancestor[ancestor[v]]
+	}
+	eval := func(v int) int {
+		if ancestor[v] == -1 {
+			return label[v]
+		}
+		compress(v)
+		return label[v]
+	}
+
+	bucket := make([][]int, m)
+	idom := make([]int, m)
+	for i := range idom {
+		idom[i] = -1
+	}
+
+	for w := m - 1; w >= 1; w-- {
+		b := vertex[w]
+		for _, p := range b.Preds {
+			if dfn[p.ID] == 0 {
+				continue // unreachable predecessor
+			}
+			v := dfn[p.ID] - 1
+			u := eval(v)
+			if semi[u] < semi[w] {
+				semi[w] = semi[u]
+			}
+		}
+		bucket[semi[w]] = append(bucket[semi[w]], w)
+		ancestor[w] = parent[w]
+		for _, v := range bucket[parent[w]] {
+			u := eval(v)
+			if semi[u] < semi[v] {
+				idom[v] = u
+			} else {
+				idom[v] = parent[w]
+			}
+		}
+		bucket[parent[w]] = nil
+	}
+	for w := 1; w < m; w++ {
+		if idom[w] != semi[w] {
+			idom[w] = idom[idom[w]]
+		}
+	}
+
+	for w := 1; w < m; w++ {
+		b := vertex[w]
+		ib := vertex[idom[w]]
+		d.idom[b.ID] = ib
+		d.children[ib.ID] = append(d.children[ib.ID], b)
+	}
+
+	// Reverse postorder for iteration orders elsewhere.
+	seen := make([]bool, n)
+	var post []*ir.Block
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		post = append(post, b)
+	}
+	walk(fn.Entry)
+	d.order = make([]*ir.Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		d.order = append(d.order, post[i])
+	}
+	for i, b := range d.order {
+		d.num[b.ID] = i
+	}
+	return d
+}
+
+// IterativeDominators computes immediate dominators with the classic
+// iterative data-flow algorithm. It exists as an independent oracle
+// for property-testing the Lengauer–Tarjan implementation.
+func IterativeDominators(fn *ir.Func) map[*ir.Block]*ir.Block {
+	// Reverse postorder.
+	seen := make(map[*ir.Block]bool)
+	var post []*ir.Block
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		post = append(post, b)
+	}
+	walk(fn.Entry)
+	rpo := make([]*ir.Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	rpoNum := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+
+	idom := make(map[*ir.Block]*ir.Block, len(rpo))
+	idom[fn.Entry] = fn.Entry
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	out := make(map[*ir.Block]*ir.Block, len(rpo))
+	for _, b := range rpo {
+		if b == fn.Entry {
+			out[b] = nil
+		} else {
+			out[b] = idom[b]
+		}
+	}
+	return out
+}

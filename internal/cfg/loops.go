@@ -1,0 +1,190 @@
+package cfg
+
+import (
+	"sort"
+
+	"regpromo/internal/ir"
+)
+
+// Loop is one natural loop. Loops with the same header are merged, so
+// each header identifies exactly one loop; the paper refers to loops
+// by their header's block number the same way.
+type Loop struct {
+	Header *ir.Block
+	// Blocks is the set of blocks in the loop, header included.
+	Blocks map[*ir.Block]bool
+	// Parent is the innermost enclosing loop, nil for outermost
+	// loops.
+	Parent *Loop
+	// Children are the loops directly nested inside this one.
+	Children []*Loop
+	// Depth is 1 for outermost loops.
+	Depth int
+	// Pad is the loop's landing pad (unique predecessor of the
+	// header from outside the loop); set by EnsureLandingPads.
+	Pad *ir.Block
+	// Exits are the blocks outside the loop that loop edges leave
+	// to; after EnsureExitBlocks each has predecessors only inside
+	// the loop.
+	Exits []*ir.Block
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// BlocksInOrder returns the loop's blocks sorted by id. Passes that
+// emit or move code must iterate in this order: ranging over the
+// Blocks map would make the output order depend on map iteration.
+func (l *Loop) BlocksInOrder() []*ir.Block {
+	out := make([]*ir.Block, 0, len(l.Blocks))
+	for b := range l.Blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LoopForest is the loop nesting structure of one function.
+type LoopForest struct {
+	// Roots are the outermost loops.
+	Roots []*Loop
+	// Loops lists every loop, outer before inner.
+	Loops []*Loop
+	// ByHeader maps a header block to its loop.
+	ByHeader map[*ir.Block]*Loop
+	// InnermostOf maps each block to the innermost loop containing
+	// it (nil when outside all loops).
+	InnermostOf map[*ir.Block]*Loop
+}
+
+// Depth returns the loop nesting depth of b (0 outside all loops).
+func (f *LoopForest) Depth(b *ir.Block) int {
+	if l := f.InnermostOf[b]; l != nil {
+		return l.Depth
+	}
+	return 0
+}
+
+// FindLoops identifies natural loops from back edges (edges whose
+// head dominates their tail), merges loops sharing a header, and
+// builds the nesting forest.
+func FindLoops(fn *ir.Func, dom *DomTree) *LoopForest {
+	f := &LoopForest{
+		ByHeader:    make(map[*ir.Block]*Loop),
+		InnermostOf: make(map[*ir.Block]*Loop),
+	}
+
+	// Collect back edges in reverse postorder for determinism.
+	for _, b := range dom.ReversePostorder() {
+		for _, s := range b.Succs {
+			if dom.Dominates(s, b) {
+				loop := f.ByHeader[s]
+				if loop == nil {
+					loop = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+					f.ByHeader[s] = loop
+				}
+				// Grow the natural loop: all blocks that reach the
+				// back edge's tail without passing through the
+				// header.
+				var stack []*ir.Block
+				if !loop.Blocks[b] {
+					loop.Blocks[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range x.Preds {
+						if !loop.Blocks[p] {
+							loop.Blocks[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Order loops by size descending so parents precede children.
+	for _, l := range f.ByHeader {
+		f.Loops = append(f.Loops, l)
+	}
+	sort.Slice(f.Loops, func(i, j int) bool {
+		if len(f.Loops[i].Blocks) != len(f.Loops[j].Blocks) {
+			return len(f.Loops[i].Blocks) > len(f.Loops[j].Blocks)
+		}
+		return f.Loops[i].Header.ID < f.Loops[j].Header.ID
+	})
+
+	// Nesting: the parent of l is the smallest loop properly
+	// containing l's header (other than l itself).
+	for i, l := range f.Loops {
+		for j := i - 1; j >= 0; j-- {
+			cand := f.Loops[j]
+			if cand != l && cand.Blocks[l.Header] {
+				// Loops are sorted by size descending, so scan from
+				// the nearest (smallest) candidate upward.
+				if l.Parent == nil || len(cand.Blocks) < len(l.Parent.Blocks) {
+					l.Parent = cand
+				}
+			}
+		}
+	}
+	for _, l := range f.Loops {
+		if l.Parent == nil {
+			f.Roots = append(f.Roots, l)
+		} else {
+			l.Parent.Children = append(l.Parent.Children, l)
+		}
+	}
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	for _, r := range f.Roots {
+		setDepth(r, 1)
+	}
+
+	// Innermost loop per block: loops sorted big→small, so later
+	// assignment wins.
+	for _, l := range f.Loops {
+		for b := range l.Blocks {
+			f.InnermostOf[b] = l
+		}
+	}
+
+	// Exits: outside-successors of loop blocks.
+	for _, l := range f.Loops {
+		seen := map[*ir.Block]bool{}
+		for b := range l.Blocks {
+			for _, s := range b.Succs {
+				if !l.Blocks[s] && !seen[s] {
+					seen[s] = true
+					l.Exits = append(l.Exits, s)
+				}
+			}
+		}
+		sort.Slice(l.Exits, func(i, j int) bool { return l.Exits[i].ID < l.Exits[j].ID })
+	}
+	return f
+}
+
+// PreorderLoops returns the loops outermost-first (parents before
+// children), which is the evaluation order for equation (4).
+func (f *LoopForest) PreorderLoops() []*Loop {
+	var out []*Loop
+	var walk func(l *Loop)
+	walk = func(l *Loop) {
+		out = append(out, l)
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	for _, r := range f.Roots {
+		walk(r)
+	}
+	return out
+}

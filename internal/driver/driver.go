@@ -1,0 +1,176 @@
+// Package driver assembles the compilation pipeline the paper
+// evaluates (§5): front end → interprocedural analysis (MOD/REF alone,
+// or points-to followed by a MOD/REF re-run) → value numbering,
+// constant propagation, loop-invariant code motion → register
+// promotion → partial redundancy elimination, dead-code elimination,
+// basic-block cleaning → graph-coloring register allocation. The four
+// experimental configurations are the cross product of
+// {MOD/REF, points-to} × {promotion off, promotion on}.
+package driver
+
+import (
+	"fmt"
+
+	"regpromo/internal/analysis/modref"
+	"regpromo/internal/analysis/pointsto"
+	"regpromo/internal/callgraph"
+	"regpromo/internal/cc/irgen"
+	"regpromo/internal/cc/parser"
+	"regpromo/internal/cc/sema"
+	"regpromo/internal/interp"
+	"regpromo/internal/ir"
+	"regpromo/internal/opt/clean"
+	"regpromo/internal/opt/constprop"
+	"regpromo/internal/opt/copyprop"
+	"regpromo/internal/opt/dce"
+	"regpromo/internal/opt/dse"
+	"regpromo/internal/opt/licm"
+	"regpromo/internal/opt/pre"
+	"regpromo/internal/opt/promote"
+	"regpromo/internal/opt/valnum"
+	"regpromo/internal/regalloc"
+)
+
+// Analysis selects the interprocedural analysis (§4).
+type Analysis int
+
+const (
+	// ModRef is interprocedural MOD/REF analysis alone.
+	ModRef Analysis = iota
+	// PointsTo runs the Ruf-style points-to analysis, refines the
+	// memory operations, and repeats MOD/REF with the sharper sets.
+	PointsTo
+)
+
+func (a Analysis) String() string {
+	if a == PointsTo {
+		return "pointer"
+	}
+	return "modref"
+}
+
+// Config selects one compilation configuration.
+type Config struct {
+	Analysis Analysis
+
+	// Promote enables scalar register promotion (§3.1).
+	Promote bool
+	// PointerPromote additionally enables §3.3 pointer-based
+	// promotion (requires Promote).
+	PointerPromote bool
+	// SkipUnwrittenStores is the demotion-store refinement ablation
+	// (see promote.Options).
+	SkipUnwrittenStores bool
+
+	// Throttle, when positive, bounds promotion per loop with the
+	// Carr-style bin-packing discipline (§3.4); pass the machine's
+	// register count. Zero reproduces the paper's unthrottled
+	// promoter.
+	Throttle int
+
+	// DSE enables the tag-based dead-store-elimination extension
+	// (§3.4's "stores" direction). Off in the paper's pipeline.
+	DSE bool
+
+	// DisableOpt skips the classical optimization passes, leaving
+	// only analysis and (optionally) promotion. Used by tests.
+	DisableOpt bool
+
+	// NoAlloc skips register allocation (virtual registers remain).
+	NoAlloc bool
+	// K is the physical register count for allocation (default 32).
+	K int
+}
+
+// Compilation is a compiled program plus pass statistics.
+type Compilation struct {
+	Module  *ir.Module
+	Promote promote.Stats
+	Alloc   regalloc.Stats
+}
+
+// CompileSource runs the full pipeline over one C source file.
+func CompileSource(filename, src string, cfg Config) (*Compilation, error) {
+	file, err := parser.Parse(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := sema.Check(file)
+	if err != nil {
+		return nil, err
+	}
+	m, err := irgen.Generate(prog)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compilation{Module: m}
+
+	// Interprocedural analysis.
+	cg := callgraph.Build(m)
+	modref.Run(m, cg)
+	if cfg.Analysis == PointsTo {
+		pointsto.Run(m, cg)
+		modref.RefineMemOps(m)
+		// Indirect-call targets may have been pinned; rebuild the
+		// call graph so the repeated MOD/REF run sees the refined
+		// edges (§4: "MOD/REF analysis is then repeated").
+		cg = callgraph.Build(m)
+		modref.Run(m, cg)
+	}
+
+	if !cfg.DisableOpt {
+		constprop.Run(m)
+		valnum.Run(m)
+		licm.Run(m)
+	}
+
+	if cfg.Promote {
+		c.Promote = promote.Run(m, promote.Options{
+			Pointer:             cfg.PointerPromote,
+			SkipUnwrittenStores: cfg.SkipUnwrittenStores,
+			PressureLimit:       cfg.Throttle,
+		})
+	}
+
+	if cfg.DSE {
+		dse.Run(m)
+	}
+
+	if !cfg.DisableOpt {
+		pre.Run(m)
+		valnum.Run(m)
+		copyprop.Run(m)
+		dce.Run(m)
+		clean.Run(m)
+	}
+
+	if !cfg.NoAlloc {
+		st, err := regalloc.Run(m, regalloc.Options{K: cfg.K})
+		if err != nil {
+			return nil, err
+		}
+		c.Alloc = st
+	}
+
+	if err := ir.VerifyModule(m); err != nil {
+		return nil, fmt.Errorf("pipeline produced invalid IL: %w", err)
+	}
+	return c, nil
+}
+
+// Execute runs a compiled program in the instrumented interpreter.
+func (c *Compilation) Execute(opts interp.Options) (*interp.Result, error) {
+	return interp.Run(c.Module, opts)
+}
+
+// Configurations returns the paper's four measurement configurations
+// in presentation order: without/with promotion under MOD/REF, then
+// without/with promotion under points-to.
+func Configurations() []Config {
+	return []Config{
+		{Analysis: ModRef, Promote: false},
+		{Analysis: ModRef, Promote: true},
+		{Analysis: PointsTo, Promote: false},
+		{Analysis: PointsTo, Promote: true},
+	}
+}

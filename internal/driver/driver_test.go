@@ -1,0 +1,360 @@
+package driver
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"regpromo/internal/interp"
+	"regpromo/internal/ir"
+	"regpromo/internal/testgen"
+)
+
+// runConfig compiles src under cfg and executes it.
+func runConfig(t *testing.T, src string, cfg Config) *interp.Result {
+	t.Helper()
+	c, err := CompileSource("test.c", src, cfg)
+	if err != nil {
+		t.Fatalf("compile (%+v): %v", cfg, err)
+	}
+	res, err := c.Execute(interp.Options{})
+	if err != nil {
+		t.Fatalf("execute (%+v): %v\nsource:\n%s", cfg, err, src)
+	}
+	return res
+}
+
+// allConfigs is the behavioural-equivalence matrix: the paper's four
+// configurations plus pointer promotion, the store ablation, varying
+// register pressure, and a no-allocation build.
+func allConfigs() []Config {
+	var out []Config
+	out = append(out, Configurations()...)
+	out = append(out,
+		Config{Analysis: ModRef, Promote: true, PointerPromote: true},
+		Config{Analysis: PointsTo, Promote: true, PointerPromote: true},
+		Config{Analysis: PointsTo, Promote: true, SkipUnwrittenStores: true},
+		Config{Analysis: ModRef, Promote: true, K: 8},
+		Config{Analysis: ModRef, Promote: true, K: 6},
+		Config{Analysis: PointsTo, Promote: true, PointerPromote: true, NoAlloc: true},
+		Config{Analysis: ModRef, Promote: true, DisableOpt: true},
+		Config{Analysis: ModRef, Promote: true, Throttle: 32},
+		Config{Analysis: ModRef, Promote: true, Throttle: 12, K: 12},
+		Config{Analysis: PointsTo, Promote: true, DSE: true},
+		Config{Analysis: ModRef, Promote: true, PointerPromote: true, DSE: true, Throttle: 16, K: 16},
+	)
+	return out
+}
+
+// checkEquivalence compiles src under every configuration and demands
+// identical observable behaviour (output and exit code).
+func checkEquivalence(t *testing.T, src string) {
+	t.Helper()
+	base := runConfig(t, src, Config{Analysis: ModRef, Promote: false, DisableOpt: true, NoAlloc: true})
+	for _, cfg := range allConfigs() {
+		res := runConfig(t, src, cfg)
+		if res.Output != base.Output || res.Exit != base.Exit {
+			t.Fatalf("behaviour diverged under %+v:\nbase: exit=%d out=%q\ngot:  exit=%d out=%q\nsource:\n%s",
+				cfg, base.Exit, base.Output, res.Exit, res.Output, src)
+		}
+	}
+}
+
+func TestEquivalenceHandWritten(t *testing.T) {
+	sources := map[string]string{
+		"global-accumulator": `
+int total;
+int hits;
+void record(int v) { hits++; }
+int main(void) {
+	int i;
+	for (i = 0; i < 100; i++) {
+		total += i;
+		if (i % 10 == 0) record(i);
+	}
+	print_int(total);
+	print_int(hits);
+	return 0;
+}`,
+		"aliased-global": `
+int g;
+void bump(int *p) { *p += 5; }
+int main(void) {
+	int i;
+	for (i = 0; i < 10; i++) {
+		g++;
+		bump(&g);
+	}
+	print_int(g);
+	return 0;
+}`,
+		"matrix-sum": `
+int A[8][8];
+int B[8];
+int main(void) {
+	int i;
+	int j;
+	for (i = 0; i < 8; i++) {
+		B[i] = 0;
+		for (j = 0; j < 8; j++) {
+			A[i][j] = i * j + 1;
+			B[i] += A[i][j];
+		}
+	}
+	print_int(B[7]);
+	return 0;
+}`,
+		"conditional-store": `
+int errcount;
+int process(int v) {
+	if (v < 0) { errcount++; return 0; }
+	return v * 2;
+}
+int main(void) {
+	int i;
+	int sum;
+	sum = 0;
+	for (i = -3; i < 20; i++) sum += process(i);
+	print_int(sum);
+	print_int(errcount);
+	return 0;
+}`,
+		"heap-list": `
+struct node { int val; struct node *next; };
+int total;
+int main(void) {
+	struct node *head;
+	struct node *p;
+	int i;
+	head = 0;
+	for (i = 0; i < 20; i++) {
+		p = (struct node *) malloc(sizeof(struct node));
+		p->val = i * i;
+		p->next = head;
+		head = p;
+	}
+	for (p = head; p != 0; p = p->next) total += p->val;
+	print_int(total);
+	return 0;
+}`,
+		"doubles": `
+double acc;
+int main(void) {
+	int i;
+	for (i = 1; i <= 10; i++) acc += 1.0 / i;
+	print_double(acc);
+	return 0;
+}`,
+		"function-pointer": `
+int a;
+int b;
+void fa(void) { a += 1; }
+void fb(void) { b += 2; }
+int main(void) {
+	void (*f)(void);
+	int i;
+	for (i = 0; i < 6; i++) {
+		if (i % 2) f = fa; else f = fb;
+		f();
+	}
+	print_int(a);
+	print_int(b);
+	return 0;
+}`,
+		"zero-trip-loop": `
+int g;
+int main(void) {
+	int i;
+	int n;
+	n = 0;
+	for (i = 0; i < n; i++) g += 1;
+	g += 7;
+	print_int(g);
+	return 0;
+}`,
+		"recursive-addressed-local": `
+int use(int *p) { return *p + 1; }
+int walk(int n) {
+	int local;
+	local = n;
+	if (n <= 0) return use(&local);
+	return walk(n - 1) + use(&local);
+}
+int main(void) {
+	print_int(walk(10));
+	return 0;
+}`,
+	}
+	for name, src := range sources {
+		src := src
+		t.Run(name, func(t *testing.T) { checkEquivalence(t, src) })
+	}
+}
+
+// TestEquivalenceRandomPrograms is the headline soundness property:
+// random programs behave identically under every configuration of
+// analysis, promotion, optimization, and register pressure.
+func TestEquivalenceRandomPrograms(t *testing.T) {
+	count := 60
+	if testing.Short() {
+		count = 10
+	}
+	cfgQuick := &quick.Config{MaxCount: count}
+	seedCounter := int64(0)
+	check := func(raw int64) bool {
+		seedCounter++
+		src := testgen.Program(seedCounter*1000003 + raw%1000)
+		base := runConfig(t, src, Config{Analysis: ModRef, Promote: false, DisableOpt: true, NoAlloc: true})
+		for _, cfg := range allConfigs() {
+			res := runConfig(t, src, cfg)
+			if res.Output != base.Output || res.Exit != base.Exit {
+				t.Logf("diverged under %+v\nsource:\n%s", cfg, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, cfgQuick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPromotionReducesMemoryTraffic checks the paper's headline
+// direction on the canonical pattern: a global accumulator in a loop.
+func TestPromotionReducesMemoryTraffic(t *testing.T) {
+	src := `
+int total;
+int main(void) {
+	int i;
+	for (i = 0; i < 1000; i++) total += i;
+	print_int(total);
+	return 0;
+}`
+	off := runConfig(t, src, Config{Analysis: ModRef, Promote: false})
+	on := runConfig(t, src, Config{Analysis: ModRef, Promote: true})
+	if on.Output != off.Output {
+		t.Fatal("outputs differ")
+	}
+	if on.Counts.Stores >= off.Counts.Stores {
+		t.Fatalf("promotion should remove stores: off=%d on=%d", off.Counts.Stores, on.Counts.Stores)
+	}
+	if on.Counts.Loads >= off.Counts.Loads {
+		t.Fatalf("promotion should remove loads: off=%d on=%d", off.Counts.Loads, on.Counts.Loads)
+	}
+	// ~1000 stores collapse to ~1.
+	if on.Counts.Stores > off.Counts.Stores/100 {
+		t.Fatalf("expected two orders of magnitude fewer stores, off=%d on=%d",
+			off.Counts.Stores, on.Counts.Stores)
+	}
+}
+
+// TestPromotionStatsReported sanity-checks the statistics plumbing.
+func TestPromotionStatsReported(t *testing.T) {
+	src := `
+int a;
+int b;
+int main(void) {
+	int i;
+	for (i = 0; i < 10; i++) { a += i; b ^= i; }
+	print_int(a + b);
+	return 0;
+}`
+	c, err := CompileSource("test.c", src, Config{Analysis: ModRef, Promote: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Promote.ScalarPromotions < 2 {
+		t.Fatalf("expected both globals promoted, stats=%+v", c.Promote)
+	}
+}
+
+func ExampleCompileSource() {
+	src := `
+int counter;
+int main(void) {
+	int i;
+	for (i = 0; i < 5; i++) counter += i;
+	print_int(counter);
+	return 0;
+}`
+	c, err := CompileSource("example.c", src, Config{Analysis: ModRef, Promote: true})
+	if err != nil {
+		fmt.Println("compile error:", err)
+		return
+	}
+	res, err := c.Execute(interp.Options{})
+	if err != nil {
+		fmt.Println("runtime error:", err)
+		return
+	}
+	fmt.Print(res.Output)
+	// Output: 10
+}
+
+// TestCompilationDeterminism: the whole pipeline is deterministic —
+// compiling the same source twice yields byte-identical IL. The
+// figure tables depend on this.
+func TestCompilationDeterminism(t *testing.T) {
+	src := testgen.Program(4242)
+	for _, cfg := range []Config{
+		{Analysis: ModRef, Promote: true},
+		{Analysis: PointsTo, Promote: true, PointerPromote: true},
+		{Analysis: PointsTo, Promote: true, DSE: true, Throttle: 16, K: 16},
+	} {
+		a, err := CompileSource("t.c", src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CompileSource("t.c", src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		da, db := ir.FormatModule(a.Module), ir.FormatModule(b.Module)
+		if da != db {
+			t.Fatalf("nondeterministic compilation under %+v", cfg)
+		}
+		ra, err := a.Execute(interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Execute(interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Counts != rb.Counts {
+			t.Fatalf("nondeterministic counts under %+v: %+v vs %+v", cfg, ra.Counts, rb.Counts)
+		}
+	}
+}
+
+// TestPipelineStageCounts sanity-checks that each optimization level
+// only improves (or preserves) the dynamic operation count on a
+// well-behaved program.
+func TestPipelineStageCounts(t *testing.T) {
+	src := `
+int g;
+int h;
+int main(void) {
+	int i;
+	for (i = 0; i < 500; i++) {
+		g += i;
+		h ^= g;
+	}
+	print_int(g);
+	print_int(h);
+	return 0;
+}
+`
+	raw := runConfig(t, src, Config{Analysis: ModRef, DisableOpt: true, NoAlloc: true})
+	opt := runConfig(t, src, Config{Analysis: ModRef})
+	promoted := runConfig(t, src, Config{Analysis: ModRef, Promote: true})
+	if opt.Counts.Ops > raw.Counts.Ops {
+		t.Fatalf("classical optimization made things worse: %d -> %d", raw.Counts.Ops, opt.Counts.Ops)
+	}
+	if promoted.Counts.Ops >= opt.Counts.Ops {
+		t.Fatalf("promotion should win on this kernel: %d -> %d", opt.Counts.Ops, promoted.Counts.Ops)
+	}
+	if promoted.Counts.Stores >= opt.Counts.Stores/10 {
+		t.Fatalf("promotion should collapse stores: %d -> %d", opt.Counts.Stores, promoted.Counts.Stores)
+	}
+}

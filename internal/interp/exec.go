@@ -1,0 +1,333 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"regpromo/internal/ir"
+)
+
+// call executes fn with the given arguments and returns its result.
+func (m *machine) call(fn *ir.Func, args []int64) (int64, error) {
+	layout := m.layoutOf(fn)
+	if m.sp+layout.size > stackBase+int64(len(m.stack)) {
+		return 0, &Error{Func: fn.Name, Msg: "stack overflow"}
+	}
+	f := &frame{
+		fn:   fn,
+		regs: make([]int64, fn.NumRegs),
+		base: m.sp,
+		size: layout.size,
+	}
+	// Zero the frame so uninitialized locals read deterministically.
+	lo := f.base - stackBase
+	for i := lo; i < lo+layout.size; i++ {
+		m.stack[i] = 0
+	}
+	m.sp += layout.size
+	m.frames = append(m.frames, f)
+	defer func() {
+		m.frames = m.frames[:len(m.frames)-1]
+		m.sp = f.base
+	}()
+
+	for i, p := range fn.Params {
+		if i < len(args) {
+			f.regs[p] = args[i]
+		}
+	}
+
+	b := fn.Entry
+	for {
+		next, ret, done, err := m.execBlock(f, b)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			return ret, nil
+		}
+		b = next
+	}
+}
+
+// execBlock runs one basic block, returning the successor or the
+// function result.
+func (m *machine) execBlock(f *frame, b *ir.Block) (next *ir.Block, ret int64, done bool, err error) {
+	regs := f.regs
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		m.steps++
+		if m.steps > m.max {
+			return nil, 0, false, &Error{Func: f.fn.Name, Msg: "step limit exceeded (infinite loop?)"}
+		}
+		m.counts.Ops++
+
+		switch in.Op {
+		case ir.OpNop:
+			// no effect
+
+		case ir.OpLoadI:
+			regs[in.Dst] = in.Imm
+		case ir.OpLoadF:
+			regs[in.Dst] = int64(math.Float64bits(in.FImm))
+		case ir.OpCopy:
+			m.counts.Copies++
+			regs[in.Dst] = regs[in.A]
+
+		case ir.OpAdd:
+			regs[in.Dst] = regs[in.A] + regs[in.B]
+		case ir.OpSub:
+			regs[in.Dst] = regs[in.A] - regs[in.B]
+		case ir.OpMul:
+			regs[in.Dst] = regs[in.A] * regs[in.B]
+		case ir.OpDiv:
+			if regs[in.B] == 0 {
+				return nil, 0, false, &Error{Func: f.fn.Name, Msg: "integer division by zero"}
+			}
+			regs[in.Dst] = regs[in.A] / regs[in.B]
+		case ir.OpRem:
+			if regs[in.B] == 0 {
+				return nil, 0, false, &Error{Func: f.fn.Name, Msg: "integer remainder by zero"}
+			}
+			regs[in.Dst] = regs[in.A] % regs[in.B]
+		case ir.OpNeg:
+			regs[in.Dst] = -regs[in.A]
+		case ir.OpAnd:
+			regs[in.Dst] = regs[in.A] & regs[in.B]
+		case ir.OpOr:
+			regs[in.Dst] = regs[in.A] | regs[in.B]
+		case ir.OpXor:
+			regs[in.Dst] = regs[in.A] ^ regs[in.B]
+		case ir.OpNot:
+			regs[in.Dst] = ^regs[in.A]
+		case ir.OpShl:
+			regs[in.Dst] = regs[in.A] << (uint64(regs[in.B]) & 63)
+		case ir.OpShr:
+			regs[in.Dst] = regs[in.A] >> (uint64(regs[in.B]) & 63)
+
+		case ir.OpCmpEQ:
+			regs[in.Dst] = b2i(regs[in.A] == regs[in.B])
+		case ir.OpCmpNE:
+			regs[in.Dst] = b2i(regs[in.A] != regs[in.B])
+		case ir.OpCmpLT:
+			regs[in.Dst] = b2i(regs[in.A] < regs[in.B])
+		case ir.OpCmpLE:
+			regs[in.Dst] = b2i(regs[in.A] <= regs[in.B])
+		case ir.OpCmpGT:
+			regs[in.Dst] = b2i(regs[in.A] > regs[in.B])
+		case ir.OpCmpGE:
+			regs[in.Dst] = b2i(regs[in.A] >= regs[in.B])
+
+		case ir.OpFAdd:
+			regs[in.Dst] = fop(regs[in.A], regs[in.B], func(a, b float64) float64 { return a + b })
+		case ir.OpFSub:
+			regs[in.Dst] = fop(regs[in.A], regs[in.B], func(a, b float64) float64 { return a - b })
+		case ir.OpFMul:
+			regs[in.Dst] = fop(regs[in.A], regs[in.B], func(a, b float64) float64 { return a * b })
+		case ir.OpFDiv:
+			regs[in.Dst] = fop(regs[in.A], regs[in.B], func(a, b float64) float64 { return a / b })
+		case ir.OpFNeg:
+			regs[in.Dst] = int64(math.Float64bits(-math.Float64frombits(uint64(regs[in.A]))))
+
+		case ir.OpFCmpEQ:
+			regs[in.Dst] = b2i(fval(regs[in.A]) == fval(regs[in.B]))
+		case ir.OpFCmpNE:
+			regs[in.Dst] = b2i(fval(regs[in.A]) != fval(regs[in.B]))
+		case ir.OpFCmpLT:
+			regs[in.Dst] = b2i(fval(regs[in.A]) < fval(regs[in.B]))
+		case ir.OpFCmpLE:
+			regs[in.Dst] = b2i(fval(regs[in.A]) <= fval(regs[in.B]))
+		case ir.OpFCmpGT:
+			regs[in.Dst] = b2i(fval(regs[in.A]) > fval(regs[in.B]))
+		case ir.OpFCmpGE:
+			regs[in.Dst] = b2i(fval(regs[in.A]) >= fval(regs[in.B]))
+
+		case ir.OpI2F:
+			regs[in.Dst] = int64(math.Float64bits(float64(regs[in.A])))
+		case ir.OpF2I:
+			regs[in.Dst] = int64(fval(regs[in.A]))
+
+		case ir.OpCLoad, ir.OpSLoad:
+			m.counts.Loads++
+			addr, err := m.tagAddr(f, in.Tag)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			v, err := m.loadMem(f, addr, in.Size)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			regs[in.Dst] = v
+		case ir.OpSStore:
+			m.counts.Stores++
+			addr, err := m.tagAddr(f, in.Tag)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			if err := m.storeMem(f, addr, in.Size, regs[in.A]); err != nil {
+				return nil, 0, false, err
+			}
+		case ir.OpPLoad:
+			m.counts.Loads++
+			addr := regs[in.A]
+			if m.opts.Trace != nil {
+				m.opts.Trace(f.fn.Name, in, addr, m.ownerOf(addr))
+			}
+			v, err := m.loadMem(f, addr, in.Size)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			regs[in.Dst] = v
+		case ir.OpPStore:
+			m.counts.Stores++
+			addr := regs[in.A]
+			if m.opts.Trace != nil {
+				m.opts.Trace(f.fn.Name, in, addr, m.ownerOf(addr))
+			}
+			if err := m.storeMem(f, addr, in.Size, regs[in.B]); err != nil {
+				return nil, 0, false, err
+			}
+
+		case ir.OpAddrOf:
+			if in.Callee != "" {
+				idx := m.funcIndex(in.Callee)
+				if idx < 0 {
+					return nil, 0, false, &Error{Func: f.fn.Name, Msg: "address of undefined function " + in.Callee}
+				}
+				regs[in.Dst] = funcBase + int64(idx)
+				break
+			}
+			addr, err := m.tagAddr(f, in.Tag)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			regs[in.Dst] = addr
+
+		case ir.OpBr:
+			return b.Succs[0], 0, false, nil
+		case ir.OpCBr:
+			if regs[in.A] != 0 {
+				return b.Succs[0], 0, false, nil
+			}
+			return b.Succs[1], 0, false, nil
+		case ir.OpRet:
+			if in.HasValue {
+				return nil, regs[in.A], true, nil
+			}
+			return nil, 0, true, nil
+
+		case ir.OpJsr:
+			m.counts.Calls++
+			v, err := m.execCall(f, in)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			if in.HasValue && in.Dst != ir.RegInvalid {
+				regs[in.Dst] = v
+			}
+
+		default:
+			return nil, 0, false, &Error{Func: f.fn.Name, Msg: fmt.Sprintf("unimplemented opcode %s", in.Op)}
+		}
+	}
+	return nil, 0, false, &Error{Func: f.fn.Name, Msg: fmt.Sprintf("block %s fell off the end", b.Label)}
+}
+
+func (m *machine) funcIndex(name string) int {
+	for i, n := range m.mod.FuncOrder {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *machine) execCall(f *frame, in *ir.Instr) (int64, error) {
+	name := in.Callee
+	if name == "" {
+		addr := f.regs[in.A]
+		idx := addr - funcBase
+		if idx < 0 || int(idx) >= len(m.mod.FuncOrder) {
+			return 0, &Error{Func: f.fn.Name, Msg: fmt.Sprintf("indirect call through invalid address %#x", addr)}
+		}
+		name = m.mod.FuncOrder[idx]
+	}
+	args := make([]int64, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = f.regs[a]
+	}
+	if callee, ok := m.mod.Funcs[name]; ok {
+		return m.call(callee, args)
+	}
+	return m.intrinsic(f, name, in, args)
+}
+
+func (m *machine) intrinsic(f *frame, name string, in *ir.Instr, args []int64) (int64, error) {
+	switch name {
+	case "print_int":
+		m.out.WriteString(strconv.FormatInt(args[0], 10))
+		m.out.WriteByte('\n')
+		return 0, nil
+	case "print_char":
+		m.out.WriteByte(byte(args[0]))
+		return 0, nil
+	case "print_double":
+		m.out.WriteString(strconv.FormatFloat(fval(args[0]), 'g', 10, 64))
+		m.out.WriteByte('\n')
+		return 0, nil
+	case "print_str":
+		addr := args[0]
+		for {
+			c, err := m.loadMem(f, addr, 1)
+			if err != nil {
+				return 0, err
+			}
+			if c == 0 {
+				break
+			}
+			m.out.WriteByte(byte(c))
+			addr++
+		}
+		return 0, nil
+	case "malloc":
+		n := args[0]
+		if n < 0 {
+			return 0, &Error{Func: f.fn.Name, Msg: "negative malloc size"}
+		}
+		if n == 0 {
+			n = 1
+		}
+		addr := align16(m.heapTop)
+		if addr+n > heapBase+int64(heapSize) {
+			return 0, &Error{Func: f.fn.Name, Msg: "out of heap memory"}
+		}
+		need := addr + n - heapBase
+		for int64(len(m.heap)) < need {
+			m.heap = append(m.heap, make([]byte, max(int(need)-len(m.heap), 4096))...)
+		}
+		m.heapTop = addr + n
+		if in.Site != ir.TagInvalid {
+			m.heapOwner = append(m.heapOwner, ownerRange{addr, addr + n, in.Site})
+		}
+		return addr, nil
+	case "free":
+		return 0, nil
+	}
+	return 0, &Error{Func: f.fn.Name, Msg: "call to undefined function " + name}
+}
+
+func align16(a int64) int64 { return (a + 15) &^ 15 }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fval(bits int64) float64 { return math.Float64frombits(uint64(bits)) }
+
+func fop(a, b int64, f func(float64, float64) float64) int64 {
+	return int64(math.Float64bits(f(fval(a), fval(b))))
+}

@@ -1,0 +1,288 @@
+// Package interp executes IL modules in an instrumented virtual
+// machine. The paper's evaluation instruments each compiled program
+// "to record the total number of operations executed, stores executed,
+// and loads executed" (§5); this interpreter produces exactly those
+// dynamic counts, deterministically.
+//
+// Machine model: 64-bit registers (doubles are held bit-reinterpreted),
+// a byte-addressable memory split into a global region, a stack of
+// frames for address-taken locals, and a bump-allocated heap with one
+// allocation site per malloc call. Every call activates a fresh
+// register file, so cross-call register state is impossible by
+// construction.
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"regpromo/internal/ir"
+)
+
+// Region base addresses. Address 0 stays unmapped so null dereferences
+// fault.
+const (
+	globalBase = 0x0000_1000
+	stackBase  = 0x1000_0000
+	stackSize  = 8 << 20
+	heapBase   = 0x4000_0000
+	heapSize   = 64 << 20
+	funcBase   = 0x7000_0000 // function "addresses" for indirect calls
+)
+
+// Counts are the dynamic instruction counters of one execution.
+type Counts struct {
+	// Ops is the total number of IL operations executed.
+	Ops int64
+	// Loads counts executed memory loads (sLoad, cLoad, pLoad).
+	Loads int64
+	// Stores counts executed memory stores (sStore, pStore).
+	Stores int64
+	// Copies counts executed register copies.
+	Copies int64
+	// Calls counts executed jsr operations.
+	Calls int64
+}
+
+// Options configure an execution.
+type Options struct {
+	// MaxSteps bounds execution; 0 means the default (2^31).
+	MaxSteps int64
+	// Trace, when non-nil, is invoked for every pointer-based
+	// memory access with the instruction, the resolved address, and
+	// the tag owning that address (TagInvalid when unknown).
+	Trace func(fn string, in *ir.Instr, addr int64, owner ir.TagID)
+}
+
+// Result is the outcome of an execution.
+type Result struct {
+	Counts Counts
+	// Exit is main's return value.
+	Exit int64
+	// Output is everything the program printed.
+	Output string
+}
+
+// Error is a runtime fault with function context.
+type Error struct {
+	Func string
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("runtime error in %s: %s", e.Func, e.Msg) }
+
+// machine is the execution state.
+type machine struct {
+	mod  *ir.Module
+	opts Options
+
+	globals []byte
+	stack   []byte
+	heap    []byte
+
+	globalAddr map[ir.TagID]int64
+	// globalOwner resolves a global address back to its tag.
+	globalOwner []ownerRange
+	// heapOwner records allocation-site ownership of heap ranges.
+	heapOwner []ownerRange
+
+	layouts map[string]*frameLayout
+
+	sp      int64 // next free stack address
+	heapTop int64
+
+	counts Counts
+	steps  int64
+	max    int64
+	out    strings.Builder
+
+	frames []*frame
+}
+
+type ownerRange struct {
+	lo, hi int64
+	tag    ir.TagID
+}
+
+type frame struct {
+	fn   *ir.Func
+	regs []int64
+	base int64 // frame base address
+	size int64
+}
+
+// frameLayout assigns frame offsets to a function's local tags.
+type frameLayout struct {
+	offsets map[ir.TagID]int64
+	size    int64
+}
+
+// Run executes the module's main function.
+func Run(mod *ir.Module, opts Options) (*Result, error) {
+	mainFn, ok := mod.Funcs["main"]
+	if !ok {
+		return nil, &Error{Func: "main", Msg: "no main function"}
+	}
+	m := &machine{
+		mod:        mod,
+		opts:       opts,
+		stack:      make([]byte, stackSize),
+		heap:       make([]byte, 0),
+		globalAddr: make(map[ir.TagID]int64),
+		layouts:    make(map[string]*frameLayout),
+		sp:         stackBase,
+		heapTop:    heapBase,
+		max:        opts.MaxSteps,
+	}
+	if m.max == 0 {
+		m.max = 1 << 31
+	}
+	m.layoutGlobals()
+
+	exit, err := m.call(mainFn, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Counts: m.counts, Exit: exit, Output: m.out.String()}, nil
+}
+
+func (m *machine) layoutGlobals() {
+	addr := int64(globalBase)
+	for _, tag := range m.mod.Tags.All() {
+		if tag.Kind != ir.TagGlobal {
+			continue
+		}
+		addr = align8(addr)
+		m.globalAddr[tag.ID] = addr
+		m.globalOwner = append(m.globalOwner, ownerRange{addr, addr + int64(max(tag.Size, 1)), tag.ID})
+		addr += int64(max(tag.Size, 1))
+	}
+	m.globals = make([]byte, addr-globalBase)
+	for _, init := range m.mod.Inits {
+		base := m.globalAddr[init.Tag] - globalBase
+		copy(m.globals[base:], init.Data)
+		for _, rel := range init.Relocs {
+			target := m.globalAddr[rel.Target] + rel.Addend
+			binary.LittleEndian.PutUint64(m.globals[base+int64(rel.Offset):], uint64(target))
+		}
+	}
+}
+
+func align8(a int64) int64 { return (a + 7) &^ 7 }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// layoutOf computes (and caches) the frame layout of fn.
+func (m *machine) layoutOf(fn *ir.Func) *frameLayout {
+	if l, ok := m.layouts[fn.Name]; ok {
+		return l
+	}
+	l := &frameLayout{offsets: make(map[ir.TagID]int64)}
+	for _, tid := range fn.Locals {
+		tag := m.mod.Tags.Get(tid)
+		l.size = align8(l.size)
+		l.offsets[tid] = l.size
+		l.size += int64(max(tag.Size, 1))
+	}
+	l.size = align8(l.size)
+	m.layouts[fn.Name] = l
+	return l
+}
+
+// tagAddr resolves a scalar-op tag to its address in the current
+// frame or the global region.
+func (m *machine) tagAddr(f *frame, tid ir.TagID) (int64, error) {
+	tag := m.mod.Tags.Get(tid)
+	switch tag.Kind {
+	case ir.TagGlobal:
+		return m.globalAddr[tid], nil
+	case ir.TagLocal, ir.TagSpill:
+		off, ok := m.layoutOf(f.fn).offsets[tid]
+		if !ok {
+			return 0, &Error{Func: f.fn.Name, Msg: fmt.Sprintf("tag %s has no frame slot", tag.Name)}
+		}
+		return f.base + off, nil
+	}
+	return 0, &Error{Func: f.fn.Name, Msg: fmt.Sprintf("cannot address tag %s", tag.Name)}
+}
+
+// mem returns the byte slice and offset backing addr..addr+size.
+func (m *machine) mem(f *frame, addr int64, size int) ([]byte, int64, error) {
+	switch {
+	case addr >= globalBase && addr+int64(size) <= globalBase+int64(len(m.globals)):
+		return m.globals, addr - globalBase, nil
+	case addr >= stackBase && addr+int64(size) <= stackBase+int64(len(m.stack)):
+		return m.stack, addr - stackBase, nil
+	case addr >= heapBase && addr+int64(size) <= m.heapTop:
+		return m.heap, addr - heapBase, nil
+	}
+	return nil, 0, &Error{Func: f.fn.Name, Msg: fmt.Sprintf("invalid memory access at %#x size %d", addr, size)}
+}
+
+func (m *machine) loadMem(f *frame, addr int64, size int) (int64, error) {
+	buf, off, err := m.mem(f, addr, size)
+	if err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return int64(int8(buf[off])), nil
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(buf[off:]))), nil
+	case 8:
+		return int64(binary.LittleEndian.Uint64(buf[off:])), nil
+	}
+	return 0, &Error{Func: f.fn.Name, Msg: fmt.Sprintf("bad load size %d", size)}
+}
+
+func (m *machine) storeMem(f *frame, addr int64, size int, v int64) error {
+	buf, off, err := m.mem(f, addr, size)
+	if err != nil {
+		return err
+	}
+	switch size {
+	case 1:
+		buf[off] = byte(v)
+	case 4:
+		binary.LittleEndian.PutUint32(buf[off:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(buf[off:], uint64(v))
+	default:
+		return &Error{Func: f.fn.Name, Msg: fmt.Sprintf("bad store size %d", size)}
+	}
+	return nil
+}
+
+// ownerOf resolves an address to the tag owning it, for tracing.
+func (m *machine) ownerOf(addr int64) ir.TagID {
+	for _, r := range m.globalOwner {
+		if addr >= r.lo && addr < r.hi {
+			return r.tag
+		}
+	}
+	for _, r := range m.heapOwner {
+		if addr >= r.lo && addr < r.hi {
+			return r.tag
+		}
+	}
+	// Stack: walk active frames.
+	for i := len(m.frames) - 1; i >= 0; i-- {
+		f := m.frames[i]
+		if addr >= f.base && addr < f.base+f.size {
+			l := m.layoutOf(f.fn)
+			for tid, off := range l.offsets {
+				tag := m.mod.Tags.Get(tid)
+				if addr >= f.base+off && addr < f.base+off+int64(max(tag.Size, 1)) {
+					return tid
+				}
+			}
+		}
+	}
+	return ir.TagInvalid
+}

@@ -1,0 +1,326 @@
+package interp
+
+import (
+	"testing"
+
+	"regpromo/internal/cc/irgen"
+	"regpromo/internal/cc/parser"
+	"regpromo/internal/cc/sema"
+	"regpromo/internal/ir"
+)
+
+func run(t *testing.T, src string) *Result {
+	t.Helper()
+	file, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := sema.Check(file)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	mod, err := irgen.Generate(prog)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	res, err := Run(mod, Options{})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, ir.FormatModule(mod))
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `int main(void) { return (3 + 4) * 5 - 100 / 4 - 7 % 3; }`)
+	if res.Exit != 9 {
+		t.Fatalf("exit = %d, want 9", res.Exit)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	res := run(t, `
+int main(void) {
+	int i;
+	int sum;
+	sum = 0;
+	for (i = 1; i <= 10; i++) {
+		if (i % 2 == 0) continue;
+		sum += i;
+		if (sum > 20) break;
+	}
+	while (sum < 30) sum++;
+	do { sum--; } while (sum > 27);
+	return sum;
+}`)
+	if res.Exit != 27 {
+		t.Fatalf("exit = %d, want 27", res.Exit)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	res := run(t, `
+int total;
+int data[5] = {5, 4, 3, 2, 1};
+int main(void) {
+	int i;
+	for (i = 0; i < 5; i++) total += data[i];
+	return total;
+}`)
+	if res.Exit != 15 {
+		t.Fatalf("exit = %d, want 15", res.Exit)
+	}
+}
+
+func TestPointers(t *testing.T) {
+	res := run(t, `
+void swap(int *a, int *b) { int t; t = *a; *a = *b; *b = t; }
+int main(void) {
+	int x;
+	int y;
+	x = 3; y = 9;
+	swap(&x, &y);
+	return x * 10 + y;
+}`)
+	if res.Exit != 93 {
+		t.Fatalf("exit = %d, want 93", res.Exit)
+	}
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	res := run(t, `
+int a[4] = {10, 20, 30, 40};
+int main(void) {
+	int *p;
+	int *q;
+	p = a;
+	q = p + 3;
+	return *q - *(p + 1) + (q - p);
+}`)
+	if res.Exit != 23 {
+		t.Fatalf("exit = %d, want 23", res.Exit)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	res := run(t, `
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main(void) { return fib(12); }`)
+	if res.Exit != 144 {
+		t.Fatalf("exit = %d, want 144", res.Exit)
+	}
+}
+
+func TestDoubles(t *testing.T) {
+	res := run(t, `
+double half(double x) { return x / 2.0; }
+int main(void) {
+	double d;
+	d = half(7.0) + 0.5;
+	if (d == 4.0) return 1;
+	return 0;
+}`)
+	if res.Exit != 1 {
+		t.Fatalf("exit = %d, want 1", res.Exit)
+	}
+}
+
+func TestStructs(t *testing.T) {
+	res := run(t, `
+struct point { int x; int y; };
+struct rect { struct point a; struct point b; };
+struct rect r;
+int area(struct rect *p) {
+	return (p->b.x - p->a.x) * (p->b.y - p->a.y);
+}
+int main(void) {
+	r.a.x = 1; r.a.y = 1;
+	r.b.x = 4; r.b.y = 5;
+	return area(&r);
+}`)
+	if res.Exit != 12 {
+		t.Fatalf("exit = %d, want 12", res.Exit)
+	}
+}
+
+func TestMallocAndLists(t *testing.T) {
+	res := run(t, `
+struct node { int val; struct node *next; };
+int main(void) {
+	struct node *head;
+	struct node *n;
+	int i;
+	int sum;
+	head = 0;
+	for (i = 1; i <= 5; i++) {
+		n = (struct node *) malloc(sizeof(struct node));
+		n->val = i;
+		n->next = head;
+		head = n;
+	}
+	sum = 0;
+	for (n = head; n != 0; n = n->next) sum += n->val;
+	return sum;
+}`)
+	if res.Exit != 15 {
+		t.Fatalf("exit = %d, want 15", res.Exit)
+	}
+}
+
+func TestPrinting(t *testing.T) {
+	res := run(t, `
+int main(void) {
+	print_str("n=");
+	print_int(42);
+	print_char('x');
+	print_char(10);
+	print_double(1.5);
+	return 0;
+}`)
+	want := "n=42\nx\n1.5\n"
+	if res.Output != want {
+		t.Fatalf("output = %q, want %q", res.Output, want)
+	}
+}
+
+func TestCharArithmetic(t *testing.T) {
+	res := run(t, `
+char buf[8];
+int main(void) {
+	char c;
+	buf[0] = 'A';
+	c = buf[0] + 1;
+	buf[1] = c;
+	return buf[1];
+}`)
+	if res.Exit != 'B' {
+		t.Fatalf("exit = %d, want %d", res.Exit, 'B')
+	}
+}
+
+func TestFunctionPointerDispatch(t *testing.T) {
+	res := run(t, `
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int apply(int (*op)(int, int), int x, int y) { return op(x, y); }
+int main(void) { return apply(add, 2, 3) * apply(mul, 2, 3); }`)
+	if res.Exit != 30 {
+		t.Fatalf("exit = %d, want 30", res.Exit)
+	}
+}
+
+func TestCountsAreRecorded(t *testing.T) {
+	res := run(t, `
+int g;
+int main(void) {
+	int i;
+	for (i = 0; i < 10; i++) g = g + 1;
+	return g;
+}`)
+	if res.Exit != 10 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+	// The loop body loads and stores g each of the 10 iterations.
+	if res.Counts.Loads < 10 || res.Counts.Stores < 10 {
+		t.Fatalf("counts = %+v, expected >= 10 loads and stores", res.Counts)
+	}
+	if res.Counts.Ops <= res.Counts.Loads+res.Counts.Stores {
+		t.Fatalf("total ops must dominate memory ops: %+v", res.Counts)
+	}
+}
+
+func TestConditionalExpressions(t *testing.T) {
+	res := run(t, `
+int main(void) {
+	int a;
+	int b;
+	a = 5;
+	b = a > 3 ? 100 : 200;
+	b += (a == 5 && a != 4) ? 1 : 0;
+	b += (a < 0 || a > 4) ? 10 : 20;
+	return b;
+}`)
+	if res.Exit != 111 {
+		t.Fatalf("exit = %d, want 111", res.Exit)
+	}
+}
+
+func TestShiftAndBitOps(t *testing.T) {
+	res := run(t, `
+int main(void) {
+	int x;
+	x = 1 << 4;
+	x |= 3;
+	x ^= 1;
+	x &= 30;
+	x >>= 1;
+	return x + (~0 == -1);
+}`)
+	if res.Exit != 10 {
+		t.Fatalf("exit = %d, want 10", res.Exit)
+	}
+}
+
+func TestNullDerefFaults(t *testing.T) {
+	file, err := parser.Parse("test.c", `
+int main(void) {
+	int *p;
+	p = 0;
+	return *p;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sema.Check(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := irgen.Generate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(mod, Options{}); err == nil {
+		t.Fatal("null dereference must fault")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	file, _ := parser.Parse("test.c", `int main(void) { while (1) {} return 0; }`)
+	prog, _ := sema.Check(file)
+	mod, _ := irgen.Generate(prog)
+	if _, err := Run(mod, Options{MaxSteps: 1000}); err == nil {
+		t.Fatal("infinite loop must hit the step limit")
+	}
+}
+
+func TestStringGlobals(t *testing.T) {
+	res := run(t, `
+char *greeting = "hi";
+int main(void) {
+	print_str(greeting);
+	return greeting[1];
+}`)
+	if res.Output != "hi" || res.Exit != 'i' {
+		t.Fatalf("output=%q exit=%d", res.Output, res.Exit)
+	}
+}
+
+func TestTwoDimensionalArrays(t *testing.T) {
+	res := run(t, `
+int m[3][4];
+int main(void) {
+	int i;
+	int j;
+	int sum;
+	for (i = 0; i < 3; i++)
+		for (j = 0; j < 4; j++)
+			m[i][j] = i * 4 + j;
+	sum = 0;
+	for (i = 0; i < 3; i++)
+		for (j = 0; j < 4; j++)
+			sum += m[i][j];
+	return sum;
+}`)
+	if res.Exit != 66 {
+		t.Fatalf("exit = %d, want 66", res.Exit)
+	}
+}

@@ -1,0 +1,206 @@
+package ir
+
+// Reg is a register number. Before allocation registers are virtual
+// and unbounded; after allocation they name physical registers.
+// RegInvalid marks an absent operand or result.
+type Reg int32
+
+// RegInvalid is the absent-register sentinel.
+const RegInvalid Reg = -1
+
+// Instr is one IL instruction. Fields are used per-opcode:
+//
+//	LoadI            Dst ← Imm
+//	LoadF            Dst ← FImm
+//	Copy, Neg, Not,
+//	FNeg, I2F, F2I   Dst ← op A
+//	binary ops       Dst ← A op B
+//	CLoad            Dst ← mem[Tag]          (invariant value)
+//	SLoad            Dst ← mem[Tag]
+//	SStore           mem[Tag] ← A
+//	PLoad            Dst ← mem[A]            (may touch Tags)
+//	PStore           mem[A] ← B              (may touch Tags)
+//	AddrOf           Dst ← &Tag              (function address when Callee != "")
+//	Br               (successor on Block)
+//	CBr              if A != 0 → Succs[0] else Succs[1]
+//	Ret              return A when HasValue
+//	Jsr              Dst ← Callee(Args...)   (indirect via A when Callee == "";
+//	                 Mods/Refs are the call's summary side effects;
+//	                 Site is the heap tag for allocation intrinsics)
+type Instr struct {
+	Op  Op
+	Dst Reg
+	A   Reg
+	B   Reg
+
+	Imm  int64
+	FImm float64
+
+	// Tag is the single location named by a scalar memory op or
+	// AddrOf.
+	Tag TagID
+	// Tags is the may-reference set of a pointer-based memory op.
+	Tags TagSet
+	// Size is the access width in bytes (1, 4, or 8) of a memory op.
+	Size int
+
+	// Call fields.
+	Callee   string
+	Args     []Reg
+	Mods     TagSet // locations the call may modify
+	Refs     TagSet // locations the call may reference
+	Site     TagID  // heap tag for allocation call sites
+	HasValue bool   // Ret carries a value; Jsr result is used
+
+	// Targets, when non-nil on an indirect Jsr, is the refined set
+	// of possible callees computed by points-to analysis; nil means
+	// "any addressed function".
+	Targets []string
+}
+
+// Uses appends the registers the instruction reads to buf and returns
+// it. The result aliases buf's backing array.
+func (in *Instr) Uses(buf []Reg) []Reg {
+	switch in.Op {
+	case OpNop, OpLoadI, OpLoadF, OpCLoad, OpSLoad, OpAddrOf, OpBr:
+		// no register uses
+	case OpRet:
+		if in.HasValue && in.A != RegInvalid {
+			buf = append(buf, in.A)
+		}
+	case OpJsr:
+		if in.Callee == "" && in.A != RegInvalid {
+			buf = append(buf, in.A)
+		}
+		buf = append(buf, in.Args...)
+	case OpCopy, OpNeg, OpNot, OpFNeg, OpI2F, OpF2I, OpCBr, OpSStore, OpPLoad:
+		buf = append(buf, in.A)
+	case OpPStore:
+		buf = append(buf, in.A, in.B)
+	default:
+		// binary arithmetic and comparisons
+		buf = append(buf, in.A, in.B)
+	}
+	return buf
+}
+
+// Def returns the register the instruction defines, or RegInvalid.
+func (in *Instr) Def() Reg {
+	if !in.Op.HasDst() {
+		return RegInvalid
+	}
+	if in.Op == OpJsr && !in.HasValue {
+		return RegInvalid
+	}
+	return in.Dst
+}
+
+// ReplaceUses rewrites every use of register from to register to.
+func (in *Instr) ReplaceUses(from, to Reg) {
+	switch in.Op {
+	case OpNop, OpLoadI, OpLoadF, OpCLoad, OpSLoad, OpAddrOf, OpBr:
+		return
+	case OpRet:
+		if in.HasValue && in.A == from {
+			in.A = to
+		}
+		return
+	case OpJsr:
+		if in.Callee == "" && in.A == from {
+			in.A = to
+		}
+		for i, r := range in.Args {
+			if r == from {
+				in.Args[i] = to
+			}
+		}
+		return
+	case OpCopy, OpNeg, OpNot, OpFNeg, OpI2F, OpF2I, OpCBr, OpSStore, OpPLoad:
+		if in.A == from {
+			in.A = to
+		}
+		return
+	case OpPStore:
+		if in.A == from {
+			in.A = to
+		}
+		if in.B == from {
+			in.B = to
+		}
+		return
+	default:
+		if in.A == from {
+			in.A = to
+		}
+		if in.B == from {
+			in.B = to
+		}
+	}
+}
+
+// MapUses rewrites every use operand through f, positionally — unlike
+// ReplaceUses it is safe when the new names overlap the old ones
+// (register renaming after coloring).
+func (in *Instr) MapUses(f func(Reg) Reg) {
+	switch in.Op {
+	case OpNop, OpLoadI, OpLoadF, OpCLoad, OpSLoad, OpAddrOf, OpBr:
+		return
+	case OpRet:
+		if in.HasValue && in.A != RegInvalid {
+			in.A = f(in.A)
+		}
+	case OpJsr:
+		if in.Callee == "" && in.A != RegInvalid {
+			in.A = f(in.A)
+		}
+		for i, r := range in.Args {
+			in.Args[i] = f(r)
+		}
+	case OpCopy, OpNeg, OpNot, OpFNeg, OpI2F, OpF2I, OpCBr, OpSStore, OpPLoad:
+		in.A = f(in.A)
+	case OpPStore:
+		in.A = f(in.A)
+		in.B = f(in.B)
+	default:
+		in.A = f(in.A)
+		in.B = f(in.B)
+	}
+}
+
+// MayReadMem returns the tag set an instruction may read, or an empty
+// set. Calls read their Refs set.
+func (in *Instr) MayReadMem() TagSet {
+	switch in.Op {
+	case OpCLoad, OpSLoad:
+		return NewTagSet(in.Tag)
+	case OpPLoad:
+		return in.Tags
+	case OpJsr:
+		return in.Refs
+	}
+	return TagSet{}
+}
+
+// MayWriteMem returns the tag set an instruction may write, or an
+// empty set. Calls write their Mods set.
+func (in *Instr) MayWriteMem() TagSet {
+	switch in.Op {
+	case OpSStore:
+		return NewTagSet(in.Tag)
+	case OpPStore:
+		return in.Tags
+	case OpJsr:
+		return in.Mods
+	}
+	return TagSet{}
+}
+
+// Clone returns a deep copy of the instruction (Args are copied;
+// TagSets are immutable and shared).
+func (in *Instr) Clone() Instr {
+	out := *in
+	if in.Args != nil {
+		out.Args = append([]Reg(nil), in.Args...)
+	}
+	return out
+}

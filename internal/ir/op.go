@@ -1,0 +1,168 @@
+package ir
+
+import "fmt"
+
+// Op is an IL opcode.
+type Op uint8
+
+// The opcode set. Memory opcodes realize the paper's Table 1 hierarchy;
+// the mnemonics in comments are the ones the paper's Figure 2 uses.
+const (
+	OpNop Op = iota
+
+	// Constants and copies.
+	OpLoadI // iLoad: materialize a known integer constant (Imm)
+	OpLoadF // iLoad: materialize a known double constant (FImm)
+	OpCopy  // CP: register copy
+
+	// Integer arithmetic (64-bit two's complement).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpNeg
+	OpAnd
+	OpOr
+	OpXor
+	OpNot // bitwise complement
+	OpShl
+	OpShr // arithmetic right shift
+
+	// Integer comparisons, producing 0 or 1.
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+
+	// Double-precision arithmetic. Register bits are reinterpreted
+	// as IEEE-754 doubles.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+
+	// Double comparisons, producing integer 0 or 1.
+	OpFCmpEQ
+	OpFCmpNE
+	OpFCmpLT
+	OpFCmpLE
+	OpFCmpGT
+	OpFCmpGE
+
+	// Conversions.
+	OpI2F // int64 -> double
+	OpF2I // double -> int64 (truncating)
+
+	// Memory operations (Table 1).
+	OpCLoad  // cLoad: load an invariant, but unknown, value named by Tag
+	OpSLoad  // SLD: scalar load of Tag
+	OpSStore // SST: scalar store of A into Tag
+	OpPLoad  // PLD: pointer-based load, address in A, may-set in Tags
+	OpPStore // PST: pointer-based store of B at address A, may-set in Tags
+	OpAddrOf // materialize the address of Tag into Dst
+
+	// Control flow. Branch targets live on the Block (Succs).
+	OpBr  // unconditional; one successor
+	OpCBr // conditional on A; Succs[0] taken when A != 0, else Succs[1]
+	OpRet // return, value in A when HasValue
+	OpJsr // call Callee (or the address in A when Callee == ""), args in Args
+
+	opMax
+)
+
+var opNames = [...]string{
+	OpNop:    "nop",
+	OpLoadI:  "loadI",
+	OpLoadF:  "loadF",
+	OpCopy:   "cp",
+	OpAdd:    "add",
+	OpSub:    "sub",
+	OpMul:    "mul",
+	OpDiv:    "div",
+	OpRem:    "rem",
+	OpNeg:    "neg",
+	OpAnd:    "and",
+	OpOr:     "or",
+	OpXor:    "xor",
+	OpNot:    "not",
+	OpShl:    "shl",
+	OpShr:    "shr",
+	OpCmpEQ:  "cmpEQ",
+	OpCmpNE:  "cmpNE",
+	OpCmpLT:  "cmpLT",
+	OpCmpLE:  "cmpLE",
+	OpCmpGT:  "cmpGT",
+	OpCmpGE:  "cmpGE",
+	OpFAdd:   "fadd",
+	OpFSub:   "fsub",
+	OpFMul:   "fmul",
+	OpFDiv:   "fdiv",
+	OpFNeg:   "fneg",
+	OpFCmpEQ: "fcmpEQ",
+	OpFCmpNE: "fcmpNE",
+	OpFCmpLT: "fcmpLT",
+	OpFCmpLE: "fcmpLE",
+	OpFCmpGT: "fcmpGT",
+	OpFCmpGE: "fcmpGE",
+	OpI2F:    "i2f",
+	OpF2I:    "f2i",
+	OpCLoad:  "cLoad",
+	OpSLoad:  "sLoad",
+	OpSStore: "sStore",
+	OpPLoad:  "pLoad",
+	OpPStore: "pStore",
+	OpAddrOf: "addrOf",
+	OpBr:     "br",
+	OpCBr:    "cbr",
+	OpRet:    "ret",
+	OpJsr:    "jsr",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// IsLoad reports whether op reads memory. LoadI/LoadF are immediate
+// loads and do not touch memory.
+func (op Op) IsLoad() bool {
+	return op == OpCLoad || op == OpSLoad || op == OpPLoad
+}
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool {
+	return op == OpSStore || op == OpPStore
+}
+
+// IsMem reports whether op is a memory operation (load or store).
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsTerminator reports whether op ends a basic block.
+func (op Op) IsTerminator() bool {
+	return op == OpBr || op == OpCBr || op == OpRet
+}
+
+// HasDst reports whether instructions with this opcode define Dst.
+// OpJsr defines Dst only when the instruction's Dst is valid.
+func (op Op) HasDst() bool {
+	switch op {
+	case OpNop, OpSStore, OpPStore, OpBr, OpCBr, OpRet:
+		return false
+	}
+	return true
+}
+
+// IsCommutative reports whether the binary op commutes.
+func (op Op) IsCommutative() bool {
+	switch op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpCmpEQ, OpCmpNE, OpFAdd, OpFMul, OpFCmpEQ, OpFCmpNE:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,362 @@
+// Package ir defines the intermediate language used throughout the
+// compiler: an ILOC-style, register-based, three-address code in which
+// every memory operation carries a list of "tags" naming the memory
+// locations the operation may touch, following Cooper & Lu, "Register
+// Promotion in C Programs" (PLDI 1997), §2.
+//
+// The opcode set realizes the paper's Table 1 hierarchy of memory
+// operations: an immediate load (LoadI) for known constants, a constant
+// load (CLoad) for invariant-but-unknown values, scalar loads and stores
+// (SLoad/SStore) that reference a single named location directly, and
+// general pointer-based loads and stores (PLoad/PStore) whose address is
+// computed at run time and whose tag set records which locations they
+// may reach.
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TagID names one abstract memory location (a "tag" in the paper's
+// terminology). Tags are allocated per Module; TagInvalid is never a
+// valid tag.
+type TagID int32
+
+// TagInvalid is the zero-signal tag id.
+const TagInvalid TagID = -1
+
+// TagKind classifies what a tag names.
+type TagKind uint8
+
+const (
+	// TagGlobal names a global variable.
+	TagGlobal TagKind = iota
+	// TagLocal names a stack-allocated local (or parameter) whose
+	// address is materialized in the frame (address-taken scalars,
+	// arrays, structs).
+	TagLocal
+	// TagHeap names all storage allocated at one malloc call site
+	// (the paper models the heap "with a single name for each
+	// call-site that can generate a new heap address", §4).
+	TagHeap
+	// TagSpill names a register-allocator spill slot.
+	TagSpill
+)
+
+func (k TagKind) String() string {
+	switch k {
+	case TagGlobal:
+		return "global"
+	case TagLocal:
+		return "local"
+	case TagHeap:
+		return "heap"
+	case TagSpill:
+		return "spill"
+	default:
+		return fmt.Sprintf("TagKind(%d)", uint8(k))
+	}
+}
+
+// Tag describes one abstract memory location.
+type Tag struct {
+	ID   TagID
+	Name string
+	Kind TagKind
+
+	// Func is the name of the owning function for locals, heap site
+	// tags and spill slots; empty for globals.
+	Func string
+
+	// Size is the size in bytes of the storage the tag names
+	// (0 for heap tags, whose extent is dynamic).
+	Size int
+
+	// Elem is the access size in bytes for scalar loads/stores of
+	// this tag (equal to Size for scalars).
+	Elem int
+
+	// AddrTaken records whether the program ever takes the address
+	// of this location. The front end computes it (§4: "only tags
+	// that have had their address taken are placed in the tag sets
+	// of pointer-based memory operations").
+	AddrTaken bool
+
+	// Strong reports whether the tag names exactly one run-time
+	// storage location per activation, so that a reference to the
+	// tag can be rewritten to a register reference. Global scalars
+	// and addressed locals of non-recursive functions are strong;
+	// arrays, structs, heap site tags, and addressed locals of
+	// recursive functions (one name for many locations, §4) are
+	// weak.
+	Strong bool
+
+	// Recursive marks a local tag owned by a (possibly) recursive
+	// function. Such tags are weak.
+	Recursive bool
+}
+
+// TagTable allocates and resolves tags for one Module.
+type TagTable struct {
+	tags []*Tag
+}
+
+// NewTag allocates a tag and returns it.
+func (t *TagTable) NewTag(name string, kind TagKind, fn string, size, elem int) *Tag {
+	tag := &Tag{
+		ID:   TagID(len(t.tags)),
+		Name: name,
+		Kind: kind,
+		Func: fn,
+		Size: size,
+		Elem: elem,
+	}
+	t.tags = append(t.tags, tag)
+	return tag
+}
+
+// Get returns the tag with the given id. It panics on an invalid id:
+// tag ids are internal invariants, not user input.
+func (t *TagTable) Get(id TagID) *Tag {
+	return t.tags[id]
+}
+
+// Len returns the number of allocated tags.
+func (t *TagTable) Len() int { return len(t.tags) }
+
+// All returns the backing slice of tags; callers must not mutate it.
+func (t *TagTable) All() []*Tag { return t.tags }
+
+// A TagSet is a set of tags, with a distinguished "all memory" top
+// element used before analysis has run. The zero value is the empty
+// set.
+type TagSet struct {
+	// all marks the ⊤ set: the operation may touch any location.
+	all bool
+	// ids is sorted and duplicate-free when all is false.
+	ids []TagID
+}
+
+// TopSet returns the ⊤ tag set ("may touch anything").
+func TopSet() TagSet { return TagSet{all: true} }
+
+// NewTagSet builds a set from the given ids.
+func NewTagSet(ids ...TagID) TagSet {
+	s := TagSet{ids: append([]TagID(nil), ids...)}
+	s.normalize()
+	return s
+}
+
+func (s *TagSet) normalize() {
+	sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+	out := s.ids[:0]
+	var prev TagID = TagInvalid
+	for _, id := range s.ids {
+		if id != prev {
+			out = append(out, id)
+			prev = id
+		}
+	}
+	s.ids = out
+}
+
+// IsTop reports whether the set is the ⊤ ("all memory") set.
+func (s TagSet) IsTop() bool { return s.all }
+
+// IsEmpty reports whether the set is empty (and not ⊤).
+func (s TagSet) IsEmpty() bool { return !s.all && len(s.ids) == 0 }
+
+// Len returns the number of explicit members; it is meaningless for ⊤.
+func (s TagSet) Len() int { return len(s.ids) }
+
+// Singleton returns the sole member, if the set has exactly one
+// explicit member.
+func (s TagSet) Singleton() (TagID, bool) {
+	if !s.all && len(s.ids) == 1 {
+		return s.ids[0], true
+	}
+	return TagInvalid, false
+}
+
+// Has reports whether id is a member (always true for ⊤).
+func (s TagSet) Has(id TagID) bool {
+	if s.all {
+		return true
+	}
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// IDs returns the explicit members in sorted order; callers must not
+// mutate the result. It returns nil for ⊤.
+func (s TagSet) IDs() []TagID { return s.ids }
+
+// Union returns s ∪ o.
+func (s TagSet) Union(o TagSet) TagSet {
+	if s.all || o.all {
+		return TopSet()
+	}
+	if len(s.ids) == 0 {
+		return o
+	}
+	if len(o.ids) == 0 {
+		return s
+	}
+	out := make([]TagID, 0, len(s.ids)+len(o.ids))
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		switch {
+		case s.ids[i] < o.ids[j]:
+			out = append(out, s.ids[i])
+			i++
+		case s.ids[i] > o.ids[j]:
+			out = append(out, o.ids[j])
+			j++
+		default:
+			out = append(out, s.ids[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.ids[i:]...)
+	out = append(out, o.ids[j:]...)
+	return TagSet{ids: out}
+}
+
+// Intersect returns s ∩ o. Intersecting with ⊤ yields the other set.
+func (s TagSet) Intersect(o TagSet) TagSet {
+	if s.all {
+		return o
+	}
+	if o.all {
+		return s
+	}
+	var out []TagID
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		switch {
+		case s.ids[i] < o.ids[j]:
+			i++
+		case s.ids[i] > o.ids[j]:
+			j++
+		default:
+			out = append(out, s.ids[i])
+			i++
+			j++
+		}
+	}
+	return TagSet{ids: out}
+}
+
+// Minus returns s \ o. The result of subtracting from ⊤ is ⊤ (we never
+// need precise complements).
+func (s TagSet) Minus(o TagSet) TagSet {
+	if o.all {
+		return TagSet{}
+	}
+	if s.all {
+		return TopSet()
+	}
+	var out []TagID
+	j := 0
+	for _, id := range s.ids {
+		for j < len(o.ids) && o.ids[j] < id {
+			j++
+		}
+		if j < len(o.ids) && o.ids[j] == id {
+			continue
+		}
+		out = append(out, id)
+	}
+	return TagSet{ids: out}
+}
+
+// Intersects reports whether s ∩ o is non-empty. ⊤ intersects every
+// non-empty set and, conservatively, every ⊤.
+func (s TagSet) Intersects(o TagSet) bool {
+	if s.all {
+		return o.all || len(o.ids) > 0
+	}
+	if o.all {
+		return len(s.ids) > 0
+	}
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		switch {
+		case s.ids[i] < o.ids[j]:
+			i++
+		case s.ids[i] > o.ids[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports set equality.
+func (s TagSet) Equal(o TagSet) bool {
+	if s.all != o.all || len(s.ids) != len(o.ids) {
+		return false
+	}
+	for i := range s.ids {
+		if s.ids[i] != o.ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether s ⊆ o.
+func (s TagSet) SubsetOf(o TagSet) bool {
+	if o.all {
+		return true
+	}
+	if s.all {
+		return false
+	}
+	j := 0
+	for _, id := range s.ids {
+		for j < len(o.ids) && o.ids[j] < id {
+			j++
+		}
+		if j >= len(o.ids) || o.ids[j] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// With returns s ∪ {id}.
+func (s TagSet) With(id TagID) TagSet {
+	if s.all || s.Has(id) {
+		return s
+	}
+	return s.Union(NewTagSet(id))
+}
+
+// String formats the set using the module-independent tag ids.
+func (s TagSet) String() string {
+	if s.all {
+		return "[*]"
+	}
+	parts := make([]string, len(s.ids))
+	for i, id := range s.ids {
+		parts[i] = fmt.Sprintf("t%d", id)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Format formats the set using tag names from the table.
+func (s TagSet) Format(tt *TagTable) string {
+	if s.all {
+		return "[*]"
+	}
+	parts := make([]string, len(s.ids))
+	for i, id := range s.ids {
+		parts[i] = tt.Get(id).Name
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}

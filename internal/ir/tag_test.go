@@ -1,0 +1,184 @@
+package ir
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randSet builds a random tag set over a small universe so overlaps
+// are common.
+func randSet(rng *rand.Rand) TagSet {
+	if rng.Intn(20) == 0 {
+		return TopSet()
+	}
+	n := rng.Intn(8)
+	ids := make([]TagID, n)
+	for i := range ids {
+		ids[i] = TagID(rng.Intn(12))
+	}
+	return NewTagSet(ids...)
+}
+
+// asMap converts an explicit set to a map for oracle computations.
+func asMap(s TagSet) map[TagID]bool {
+	out := map[TagID]bool{}
+	for _, id := range s.IDs() {
+		out[id] = true
+	}
+	return out
+}
+
+func fromMap(m map[TagID]bool) TagSet {
+	var ids []TagID
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return NewTagSet(ids...)
+}
+
+func TestTagSetBasics(t *testing.T) {
+	s := NewTagSet(3, 1, 2, 1, 3)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	ids := s.IDs()
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		t.Fatal("ids not sorted")
+	}
+	if !s.Has(2) || s.Has(5) {
+		t.Fatal("membership wrong")
+	}
+	if _, ok := s.Singleton(); ok {
+		t.Fatal("3-element set is not a singleton")
+	}
+	one := NewTagSet(7)
+	if id, ok := one.Singleton(); !ok || id != 7 {
+		t.Fatal("singleton detection failed")
+	}
+	if !TopSet().IsTop() || TopSet().IsEmpty() {
+		t.Fatal("top set misclassified")
+	}
+	var zero TagSet
+	if !zero.IsEmpty() || zero.IsTop() {
+		t.Fatal("zero value should be the empty set")
+	}
+}
+
+func TestTagSetAlgebraAgainstMapOracle(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSet(rng), randSet(rng)
+		if a.IsTop() || b.IsTop() {
+			// ⊤ laws checked separately.
+			return true
+		}
+		am, bm := asMap(a), asMap(b)
+
+		union := map[TagID]bool{}
+		for k := range am {
+			union[k] = true
+		}
+		for k := range bm {
+			union[k] = true
+		}
+		inter := map[TagID]bool{}
+		for k := range am {
+			if bm[k] {
+				inter[k] = true
+			}
+		}
+		minus := map[TagID]bool{}
+		for k := range am {
+			if !bm[k] {
+				minus[k] = true
+			}
+		}
+		if !a.Union(b).Equal(fromMap(union)) {
+			return false
+		}
+		if !a.Intersect(b).Equal(fromMap(inter)) {
+			return false
+		}
+		if !a.Minus(b).Equal(fromMap(minus)) {
+			return false
+		}
+		if a.Intersects(b) != (len(inter) > 0) {
+			return false
+		}
+		if a.SubsetOf(b) != (len(minus) == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSetTopLaws(t *testing.T) {
+	top := TopSet()
+	s := NewTagSet(1, 2, 3)
+	if !s.Union(top).IsTop() || !top.Union(s).IsTop() {
+		t.Fatal("union with top must be top")
+	}
+	if !s.Intersect(top).Equal(s) || !top.Intersect(s).Equal(s) {
+		t.Fatal("intersection with top must be identity")
+	}
+	if !s.Minus(top).IsEmpty() {
+		t.Fatal("s minus top must be empty")
+	}
+	if !s.SubsetOf(top) {
+		t.Fatal("everything is a subset of top")
+	}
+	if top.SubsetOf(s) {
+		t.Fatal("top is not a subset of a finite set")
+	}
+	if !top.Has(42) {
+		t.Fatal("top contains everything")
+	}
+	if !top.Intersects(s) || top.Intersects(TagSet{}) {
+		t.Fatal("top intersects exactly the non-empty sets")
+	}
+}
+
+func TestTagSetWith(t *testing.T) {
+	s := NewTagSet(5)
+	s2 := s.With(3).With(5).With(9)
+	if !s2.Equal(NewTagSet(3, 5, 9)) {
+		t.Fatalf("with chain = %s", s2)
+	}
+	// With must not mutate the receiver.
+	if !s.Equal(NewTagSet(5)) {
+		t.Fatal("With mutated its receiver")
+	}
+}
+
+func TestTagTable(t *testing.T) {
+	var tt TagTable
+	a := tt.NewTag("a", TagGlobal, "", 8, 8)
+	b := tt.NewTag("b", TagLocal, "f", 4, 4)
+	if a.ID == b.ID {
+		t.Fatal("ids must be distinct")
+	}
+	if tt.Get(b.ID).Name != "b" || tt.Len() != 2 {
+		t.Fatal("lookup failed")
+	}
+	if got := b.Kind.String(); got != "local" {
+		t.Fatalf("kind string = %q", got)
+	}
+}
+
+func TestFormatUsesTagNames(t *testing.T) {
+	var tt TagTable
+	a := tt.NewTag("alpha", TagGlobal, "", 8, 8)
+	b := tt.NewTag("beta", TagGlobal, "", 8, 8)
+	s := NewTagSet(a.ID, b.ID)
+	if got := s.Format(&tt); got != "[alpha,beta]" {
+		t.Fatalf("format = %q", got)
+	}
+	if got := TopSet().Format(&tt); got != "[*]" {
+		t.Fatalf("top format = %q", got)
+	}
+}

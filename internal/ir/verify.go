@@ -1,0 +1,128 @@
+package ir
+
+import "fmt"
+
+// VerifyFunc checks structural well-formedness of a function:
+// every block ends in exactly one terminator, successor counts match
+// the terminator, edges are symmetric, register numbers are in range,
+// and memory operations carry sensible sizes and tags. It returns the
+// first violation found.
+func VerifyFunc(f *Func, tt *TagTable) error {
+	if f.Entry == nil {
+		return fmt.Errorf("%s: no entry block", f.Name)
+	}
+	inFunc := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+	}
+	if !inFunc[f.Entry] {
+		return fmt.Errorf("%s: entry block not in Blocks", f.Name)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("%s/%s: empty block", f.Name, b.Label)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("%s/%s: terminator %s not last", f.Name, b.Label, in.Op)
+			}
+			if err := verifyInstr(f, b, in, tt); err != nil {
+				return err
+			}
+		}
+		term := b.Terminator()
+		if term == nil {
+			return fmt.Errorf("%s/%s: missing terminator", f.Name, b.Label)
+		}
+		want := 0
+		switch term.Op {
+		case OpBr:
+			want = 1
+		case OpCBr:
+			want = 2
+		case OpRet:
+			want = 0
+		}
+		if len(b.Succs) != want {
+			return fmt.Errorf("%s/%s: %s with %d successors", f.Name, b.Label, term.Op, len(b.Succs))
+		}
+		for _, s := range b.Succs {
+			if !inFunc[s] {
+				return fmt.Errorf("%s/%s: successor %s not in function", f.Name, b.Label, s.Label)
+			}
+			if !hasPred(s, b) {
+				return fmt.Errorf("%s/%s: successor %s missing back-pointer", f.Name, b.Label, s.Label)
+			}
+		}
+		for _, p := range b.Preds {
+			if !inFunc[p] {
+				return fmt.Errorf("%s/%s: predecessor %s not in function", f.Name, b.Label, p.Label)
+			}
+			if !p.HasSucc(b) {
+				return fmt.Errorf("%s/%s: predecessor %s missing forward edge", f.Name, b.Label, p.Label)
+			}
+		}
+	}
+	return nil
+}
+
+func hasPred(b, p *Block) bool {
+	for _, q := range b.Preds {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func verifyInstr(f *Func, b *Block, in *Instr, tt *TagTable) error {
+	ctx := func(msg string, args ...any) error {
+		return fmt.Errorf("%s/%s: %s: %s", f.Name, b.Label, in.Op, fmt.Sprintf(msg, args...))
+	}
+	checkReg := func(r Reg) error {
+		if r < 0 || int(r) >= f.NumRegs {
+			return ctx("register r%d out of range [0,%d)", r, f.NumRegs)
+		}
+		return nil
+	}
+	var buf [8]Reg
+	for _, r := range in.Uses(buf[:0]) {
+		if err := checkReg(r); err != nil {
+			return err
+		}
+	}
+	if d := in.Def(); d != RegInvalid {
+		if err := checkReg(d); err != nil {
+			return err
+		}
+	}
+	switch in.Op {
+	case OpCLoad, OpSLoad, OpSStore:
+		if tt != nil && (in.Tag < 0 || int(in.Tag) >= tt.Len()) {
+			return ctx("bad tag %d", in.Tag)
+		}
+		if in.Size != 1 && in.Size != 4 && in.Size != 8 {
+			return ctx("bad size %d", in.Size)
+		}
+	case OpPLoad, OpPStore:
+		if in.Size != 1 && in.Size != 4 && in.Size != 8 {
+			return ctx("bad size %d", in.Size)
+		}
+	case OpAddrOf:
+		if in.Callee == "" && tt != nil && (in.Tag < 0 || int(in.Tag) >= tt.Len()) {
+			return ctx("bad tag %d", in.Tag)
+		}
+	}
+	return nil
+}
+
+// VerifyModule verifies every function in the module.
+func VerifyModule(m *Module) error {
+	for _, f := range m.FuncsInOrder() {
+		if err := VerifyFunc(f, &m.Tags); err != nil {
+			return err
+		}
+	}
+	return nil
+}

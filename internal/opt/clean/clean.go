@@ -1,0 +1,99 @@
+// Package clean implements the basic-block cleaning pass the paper's
+// pipeline ends with (§5): folding conditional branches with identical
+// targets, removing empty forwarding blocks, merging blocks with their
+// unique successors, and deleting unreachable code.
+package clean
+
+import "regpromo/internal/ir"
+
+// Run cleans every function and returns the number of blocks removed.
+func Run(m *ir.Module) int {
+	n := 0
+	for _, fn := range m.FuncsInOrder() {
+		n += Func(fn)
+	}
+	return n
+}
+
+// Func cleans one function's CFG.
+func Func(fn *ir.Func) int {
+	before := len(fn.Blocks)
+	for {
+		changed := false
+		fn.RemoveUnreachable()
+
+		for _, b := range fn.Blocks {
+			// cbr with both edges to the same target becomes br.
+			if term := b.Terminator(); term != nil && term.Op == ir.OpCBr &&
+				len(b.Succs) == 2 && b.Succs[0] == b.Succs[1] {
+				t := b.Succs[0]
+				*term = ir.Instr{Op: ir.OpBr}
+				b.Succs = b.Succs[:1]
+				// Drop one duplicate pred entry.
+				t.Preds = removeOne(t.Preds, b)
+				changed = true
+			}
+		}
+
+		// Forward empty blocks: a block containing only "br X" can be
+		// bypassed, except self-loops.
+		for _, b := range fn.Blocks {
+			if b == fn.Entry || len(b.Instrs) != 1 || b.Instrs[0].Op != ir.OpBr {
+				continue
+			}
+			target := b.Succs[0]
+			if target == b {
+				continue
+			}
+			for _, p := range append([]*ir.Block(nil), b.Preds...) {
+				// Avoid creating a duplicate edge p→target when p
+				// already branches there via a cbr: that is legal
+				// (cbr both-arms), handled above next round.
+				p.ReplaceSucc(b, target)
+				changed = true
+			}
+		}
+		fn.RemoveUnreachable()
+
+		// Merge a block with its unique successor when the successor
+		// has exactly one predecessor.
+		for _, b := range fn.Blocks {
+			for {
+				term := b.Terminator()
+				if term == nil || term.Op != ir.OpBr || len(b.Succs) != 1 {
+					break
+				}
+				s := b.Succs[0]
+				if s == b || len(s.Preds) != 1 || s == fn.Entry {
+					break
+				}
+				// Splice s into b.
+				b.Instrs = append(b.Instrs[:len(b.Instrs)-1], s.Instrs...)
+				b.Succs = nil
+				for _, t := range s.Succs {
+					t.Preds = removeOne(t.Preds, s)
+					ir.AddEdge(b, t)
+				}
+				s.Succs = nil
+				s.Preds = nil
+				s.Instrs = []ir.Instr{{Op: ir.OpRet, A: ir.RegInvalid}} // keep verifiable until removed
+				changed = true
+			}
+		}
+		fn.RemoveUnreachable()
+
+		if !changed {
+			break
+		}
+	}
+	return before - len(fn.Blocks)
+}
+
+func removeOne(list []*ir.Block, b *ir.Block) []*ir.Block {
+	for i, x := range list {
+		if x == b {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

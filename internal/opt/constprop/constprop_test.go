@@ -1,0 +1,151 @@
+package constprop
+
+import (
+	"testing"
+
+	"regpromo/internal/ir"
+	"regpromo/internal/testutil"
+)
+
+func TestFoldsConstantChains(t *testing.T) {
+	m := testutil.Compile(t, `
+int main(void) {
+	int a;
+	int b;
+	int c;
+	a = 6;
+	b = a * 7;
+	c = b - 2;
+	return c;
+}
+`)
+	fn := m.Funcs["main"]
+	if n := Func(fn); n == 0 {
+		t.Fatalf("nothing folded:\n%s", ir.FormatFunc(fn, &m.Tags))
+	}
+	if res := testutil.Run(t, m); res.Exit != 40 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+	// After folding, no multiplies should remain.
+	if testutil.CountOps(fn, ir.OpMul) != 0 {
+		t.Fatalf("mul not folded:\n%s", ir.FormatFunc(fn, &m.Tags))
+	}
+}
+
+func TestFoldsBranches(t *testing.T) {
+	m := testutil.Compile(t, `
+int main(void) {
+	int configured;
+	configured = 1;
+	if (configured) {
+		return 10;
+	}
+	return 20;
+}
+`)
+	want := testutil.Run(t, m)
+	fn := m.Funcs["main"]
+	Func(fn)
+	if testutil.CountOps(fn, ir.OpCBr) != 0 {
+		t.Fatalf("constant branch survived:\n%s", ir.FormatFunc(fn, &m.Tags))
+	}
+	testutil.MustBehaveLike(t, m, want)
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	m := testutil.Compile(t, `
+int f(int x) {
+	int a;
+	a = x + 0;
+	a = a * 1;
+	a = a - 0;
+	a = a / 1;
+	a = a | 0;
+	a = a ^ 0;
+	return a;
+}
+int main(void) { return f(37); }
+`)
+	fn := m.Funcs["f"]
+	Func(fn)
+	// Everything reduces to copies; no arithmetic left.
+	for _, op := range []ir.Op{ir.OpAdd, ir.OpMul, ir.OpSub, ir.OpDiv, ir.OpOr, ir.OpXor} {
+		if testutil.CountOps(fn, op) != 0 {
+			t.Fatalf("%s identity not simplified:\n%s", op, ir.FormatFunc(fn, &m.Tags))
+		}
+	}
+	if res := testutil.Run(t, m); res.Exit != 37 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}
+
+func TestMultiplyByZero(t *testing.T) {
+	m := testutil.Compile(t, `
+int f(int x) { return x * 0 + 9; }
+int main(void) { return f(123456); }
+`)
+	Func(m.Funcs["f"])
+	if res := testutil.Run(t, m); res.Exit != 9 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}
+
+func TestMultiDefRegistersNotTreatedAsConstant(t *testing.T) {
+	// x is assigned twice; the constant 1 must not propagate to the
+	// return.
+	m := testutil.Compile(t, `
+int main(void) {
+	int x;
+	int i;
+	x = 1;
+	for (i = 0; i < 3; i++) x = x + 1;
+	return x;
+}
+`)
+	want := testutil.Run(t, m)
+	if want.Exit != 4 {
+		t.Fatalf("reference exit = %d", want.Exit)
+	}
+	Run(m)
+	testutil.MustBehaveLike(t, m, want)
+}
+
+func TestParamWithInBodyConstantAssignment(t *testing.T) {
+	// The parameter is assigned a constant AFTER its uses: the
+	// constant must not flow backwards (params have an implicit
+	// entry definition).
+	m := testutil.Compile(t, `
+int f(int a) {
+	int v;
+	v = a + a;
+	a = 34;
+	return v + a;
+}
+int main(void) { return f(4); }
+`)
+	want := testutil.Run(t, m)
+	if want.Exit != 42 {
+		t.Fatalf("reference exit = %d", want.Exit)
+	}
+	Run(m)
+	testutil.MustBehaveLike(t, m, want)
+}
+
+func TestDivisionByZeroNotFolded(t *testing.T) {
+	// 1/0 is a runtime fault; folding must not evaluate it at
+	// compile time, and the guard keeps it from executing.
+	m := testutil.Compile(t, `
+int main(void) {
+	int z;
+	int r;
+	z = 0;
+	r = 5;
+	if (z != 0) r = 1 / z;
+	return r;
+}
+`)
+	Run(m)
+	if res := testutil.Run(t, m); res.Exit != 5 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}

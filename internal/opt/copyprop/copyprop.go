@@ -1,0 +1,124 @@
+// Package copyprop implements global copy propagation: a use of x,
+// where x is defined exactly once and that definition is "x ← cp y"
+// with y itself defined at most once, reads the same value as y, so
+// the use can name y directly. The copies this leaves dead are
+// removed by dead-code elimination, and the register allocator's
+// coalescer handles the loop-carried copies this pass cannot touch.
+//
+// The single-definition requirements make the transformation sound in
+// the non-SSA IL: with one definition of y there is no program point
+// where x is live but y holds a different value, and the dominance
+// check below rules out paths that could read x before its
+// definition.
+package copyprop
+
+import (
+	"regpromo/internal/cfg"
+	"regpromo/internal/ir"
+)
+
+// Run propagates copies in every function; it returns the number of
+// copies propagated.
+func Run(m *ir.Module) int {
+	n := 0
+	for _, fn := range m.FuncsInOrder() {
+		n += Func(fn)
+	}
+	return n
+}
+
+// Func propagates copies in one function.
+func Func(fn *ir.Func) int {
+	fn.RemoveUnreachable()
+	dom := cfg.Dominators(fn)
+
+	defCount := make(map[ir.Reg]int)
+	for _, p := range fn.Params {
+		defCount[p]++
+	}
+	type defSite struct {
+		b *ir.Block
+		i int
+	}
+	defs := make(map[ir.Reg]defSite)
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.RegInvalid {
+				defCount[d]++
+				defs[d] = defSite{b, i}
+			}
+		}
+	}
+
+	// forward maps x -> y for propagatable copies.
+	forward := make(map[ir.Reg]ir.Reg)
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpCopy {
+				continue
+			}
+			x, y := in.Dst, in.A
+			if defCount[x] != 1 || defCount[y] > 1 {
+				continue
+			}
+			if !dominatesAllUses(fn, dom, b, i, x) {
+				continue
+			}
+			forward[x] = y
+		}
+	}
+	if len(forward) == 0 {
+		return 0
+	}
+	// Resolve chains x -> y -> z.
+	resolve := func(r ir.Reg) ir.Reg {
+		for i := 0; i < len(forward); i++ {
+			y, ok := forward[r]
+			if !ok {
+				return r
+			}
+			r = y
+		}
+		return r
+	}
+
+	n := 0
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			b.Instrs[i].MapUses(func(u ir.Reg) ir.Reg {
+				v := resolve(u)
+				if v != u {
+					n++
+				}
+				return v
+			})
+		}
+	}
+	return n
+}
+
+// dominatesAllUses reports whether the definition at (db, di)
+// dominates every use of r.
+func dominatesAllUses(fn *ir.Func, dom *cfg.DomTree, db *ir.Block, di int, r ir.Reg) bool {
+	var buf [8]ir.Reg
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			for _, u := range b.Instrs[i].Uses(buf[:0]) {
+				if u != r {
+					continue
+				}
+				if b == db {
+					if i <= di {
+						return false
+					}
+					continue
+				}
+				if !dom.Dominates(db, b) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

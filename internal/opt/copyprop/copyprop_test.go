@@ -1,0 +1,126 @@
+package copyprop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regpromo/internal/interp"
+	"regpromo/internal/ir"
+	"regpromo/internal/opt/dce"
+	"regpromo/internal/testgen"
+	"regpromo/internal/testutil"
+)
+
+func TestPropagatesThroughTemporaries(t *testing.T) {
+	m := testutil.Compile(t, `
+int f(int a) {
+	int x;
+	int y;
+	x = a;        /* cp a -> x */
+	y = x;        /* cp x -> y */
+	return y + x;
+}
+int main(void) { return f(21); }
+`)
+	want := testutil.Run(t, m)
+	m2 := testutil.Compile(t, `
+int f(int a) {
+	int x;
+	int y;
+	x = a;
+	y = x;
+	return y + x;
+}
+int main(void) { return f(21); }
+`)
+	if n := Run(m2); n == 0 {
+		t.Fatal("nothing propagated")
+	}
+	dce.Run(m2)
+	testutil.VerifyAll(t, m2)
+	got := testutil.MustBehaveLike(t, m2, want)
+	if got.Exit != 42 {
+		t.Fatalf("exit = %d", got.Exit)
+	}
+	// After propagation + DCE the chain collapses: no copies remain
+	// in f.
+	if c := testutil.CountOps(m2.Funcs["f"], ir.OpCopy); c != 0 {
+		t.Fatalf("%d copies remain:\n%s", c, ir.FormatFunc(m2.Funcs["f"], &m2.Tags))
+	}
+}
+
+func TestSkipsMultiDefSources(t *testing.T) {
+	src := `
+int main(void) {
+	int a;
+	int x;
+	int r;
+	a = 1;
+	x = a;        /* x copies a's FIRST value */
+	a = 2;        /* a redefined: x must keep 1 */
+	r = x + a;
+	return r;
+}
+`
+	want := testutil.Run(t, testutil.Compile(t, src))
+	if want.Exit != 3 {
+		t.Fatalf("reference exit = %d", want.Exit)
+	}
+	m := testutil.Compile(t, src)
+	Run(m)
+	testutil.MustBehaveLike(t, m, want)
+}
+
+func TestLoopCarriedCopiesStay(t *testing.T) {
+	src := `
+int main(void) {
+	int i;
+	int acc;
+	acc = 0;
+	for (i = 0; i < 10; i++) acc += i;
+	return acc;
+}
+`
+	want := testutil.Run(t, testutil.Compile(t, src))
+	m := testutil.Compile(t, src)
+	Run(m)
+	got := testutil.MustBehaveLike(t, m, want)
+	if got.Exit != 45 {
+		t.Fatalf("exit = %d", got.Exit)
+	}
+}
+
+// TestSoundOnRandomPrograms: copy propagation (followed by DCE, its
+// natural companion) never changes behaviour.
+func TestSoundOnRandomPrograms(t *testing.T) {
+	count := 40
+	if testing.Short() {
+		count = 10
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := testgen.Program(rng.Int63())
+		want := testutil.Run(t, testutil.Compile(t, src))
+		m := testutil.Compile(t, src)
+		Run(m)
+		dce.Run(m)
+		if err := ir.VerifyModule(m); err != nil {
+			t.Logf("invalid IL: %v", err)
+			return false
+		}
+		got, err := interp.Run(m, interp.Options{})
+		if err != nil {
+			t.Logf("%v\n%s", err, src)
+			return false
+		}
+		if got.Output != want.Output || got.Exit != want.Exit {
+			t.Logf("diverged\n%s", src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: count}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package dce implements dead-code elimination: instructions whose
+// results are never used and which have no side effects (stores,
+// calls, control flow) are deleted. Dead loads are removed too — a
+// load's only observable effect is its result.
+package dce
+
+import "regpromo/internal/ir"
+
+// Run eliminates dead code in every function and returns the number
+// of instructions removed.
+func Run(m *ir.Module) int {
+	n := 0
+	for _, fn := range m.FuncsInOrder() {
+		n += Func(fn)
+	}
+	return n
+}
+
+// Func eliminates dead code in one function.
+func Func(fn *ir.Func) int {
+	removed := 0
+	for {
+		live := make([]bool, fn.NumRegs)
+		// Seed: registers used by side-effecting or control
+		// instructions, then propagate through pure defs until
+		// stable.
+		var buf [8]ir.Reg
+		changed := true
+		for changed {
+			changed = false
+			for _, b := range fn.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					if !isRemovable(in) || (in.Def() != ir.RegInvalid && live[in.Def()]) {
+						for _, u := range in.Uses(buf[:0]) {
+							if !live[u] {
+								live[u] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+		n := sweep(fn, live)
+		removed += n
+		if n == 0 {
+			return removed
+		}
+	}
+}
+
+// isRemovable reports whether the instruction may be deleted when its
+// result is dead.
+func isRemovable(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpSStore, ir.OpPStore, ir.OpJsr, ir.OpBr, ir.OpCBr, ir.OpRet:
+		return false
+	case ir.OpNop:
+		return true
+	}
+	return true
+}
+
+func sweep(fn *ir.Func, live []bool) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if in.Op == ir.OpNop {
+				n++
+				continue
+			}
+			if isRemovable(&in) && (in.Def() == ir.RegInvalid || !live[in.Def()]) {
+				n++
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return n
+}

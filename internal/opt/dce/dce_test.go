@@ -1,0 +1,113 @@
+package dce
+
+import (
+	"testing"
+
+	"regpromo/internal/ir"
+	"regpromo/internal/testutil"
+)
+
+func TestRemovesDeadArithmetic(t *testing.T) {
+	m := testutil.Compile(t, `
+int main(void) {
+	int used;
+	int dead;
+	used = 3;
+	dead = used * 100;   /* never read again after DCE sees through it */
+	return used;
+}
+`)
+	want := testutil.Run(t, m)
+	fn := m.Funcs["main"]
+	before := len(fn.Entry.Instrs)
+	if n := Func(fn); n == 0 {
+		t.Fatalf("nothing removed from %d instructions:\n%s", before, ir.FormatFunc(fn, &m.Tags))
+	}
+	testutil.VerifyAll(t, m)
+	testutil.MustBehaveLike(t, m, want)
+}
+
+func TestRemovesDeadLoads(t *testing.T) {
+	m := testutil.Compile(t, `
+int g;
+int main(void) {
+	int x;
+	x = g;      /* dead load: x is never read */
+	return 7;
+}
+`)
+	fn := m.Funcs["main"]
+	Func(fn)
+	if testutil.CountOps(fn, ir.OpSLoad) != 0 {
+		t.Fatalf("dead load survived:\n%s", ir.FormatFunc(fn, &m.Tags))
+	}
+	if res := testutil.Run(t, m); res.Exit != 7 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}
+
+func TestKeepsStoresAndCalls(t *testing.T) {
+	m := testutil.Compile(t, `
+int g;
+void effect(void) { g++; }
+int main(void) {
+	int unused;
+	g = 5;          /* store stays */
+	effect();       /* call stays */
+	unused = g + 1; /* computation goes */
+	return g;
+}
+`)
+	fn := m.Funcs["main"]
+	Func(fn)
+	if testutil.CountOps(fn, ir.OpSStore) == 0 {
+		t.Fatal("store removed")
+	}
+	if testutil.CountOps(fn, ir.OpJsr) == 0 {
+		t.Fatal("call removed")
+	}
+	if res := testutil.Run(t, m); res.Exit != 6 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}
+
+func TestTransitiveDeadChains(t *testing.T) {
+	m := testutil.Compile(t, `
+int main(void) {
+	int a;
+	int b;
+	int c;
+	a = 1;
+	b = a + 2;   /* feeds only c */
+	c = b * 3;   /* dead */
+	return a;
+}
+`)
+	fn := m.Funcs["main"]
+	Func(fn)
+	// Only the constant 1 and the return plumbing should remain.
+	if n := testutil.CountOps(fn, ir.OpMul); n != 0 {
+		t.Fatalf("dead chain kept the multiply:\n%s", ir.FormatFunc(fn, &m.Tags))
+	}
+	if res := testutil.Run(t, m); res.Exit != 1 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}
+
+func TestValueUsedAcrossLoopStays(t *testing.T) {
+	m := testutil.Compile(t, `
+int main(void) {
+	int i;
+	int acc;
+	acc = 0;
+	for (i = 0; i < 5; i++) acc += i;
+	return acc;
+}
+`)
+	want := testutil.Run(t, m)
+	Run(m)
+	got := testutil.MustBehaveLike(t, m, want)
+	if got.Exit != 10 {
+		t.Fatalf("exit = %d", got.Exit)
+	}
+}

@@ -1,0 +1,180 @@
+package dse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regpromo/internal/interp"
+	"regpromo/internal/ir"
+	"regpromo/internal/testgen"
+	"regpromo/internal/testutil"
+)
+
+func TestRemovesOverwrittenStore(t *testing.T) {
+	m := testutil.Compile(t, `
+int g;
+int main(void) {
+	g = 1;     /* dead: overwritten before any read */
+	g = 2;
+	return g;
+}
+`)
+	fn := m.Funcs["main"]
+	before := testutil.CountOps(fn, ir.OpSStore)
+	if n := Func(m, fn); n != 1 {
+		t.Fatalf("removed %d stores, want 1 (had %d):\n%s",
+			n, before, ir.FormatFunc(fn, &m.Tags))
+	}
+	if res := testutil.Run(t, m); res.Exit != 2 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}
+
+func TestInterveningLoadBlocks(t *testing.T) {
+	m := testutil.Compile(t, `
+int g;
+int main(void) {
+	int a;
+	g = 1;
+	a = g;     /* reads the first store */
+	g = 2;
+	return a * 10 + g;
+}
+`)
+	fn := m.Funcs["main"]
+	if n := Func(m, fn); n != 0 {
+		t.Fatalf("removed %d stores across a read", n)
+	}
+	if res := testutil.Run(t, m); res.Exit != 12 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}
+
+func TestInterveningCallRefBlocks(t *testing.T) {
+	m := testutil.Compile(t, `
+int g;
+int peek(void) { return g; }
+int main(void) {
+	int a;
+	g = 1;
+	a = peek();   /* the call reads g */
+	g = 2;
+	print_int(a);
+	return g;
+}
+`)
+	fn := m.Funcs["main"]
+	if n := Func(m, fn); n != 0 {
+		t.Fatalf("removed %d stores across a reading call", n)
+	}
+	if res := testutil.Run(t, m); res.Output != "1\n" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestPointerLoadBlocks(t *testing.T) {
+	m := testutil.Compile(t, `
+int g;
+int main(void) {
+	int a;
+	int *p;
+	p = &g;
+	g = 1;
+	a = *p;    /* may (does) read g */
+	g = 2;
+	return a * 10 + g;
+}
+`)
+	fn := m.Funcs["main"]
+	Func(m, fn)
+	if res := testutil.Run(t, m); res.Exit != 12 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}
+
+func TestFrameLocalDeadAtReturn(t *testing.T) {
+	m := testutil.Compile(t, `
+int observe(int *p) { return *p; }
+int f(void) {
+	int local;
+	int r;
+	local = 5;
+	r = observe(&local);
+	local = 99;        /* dead: frame dies at return, nothing reads it */
+	return r;
+}
+int main(void) { return f(); }
+`)
+	fn := m.Funcs["f"]
+	if n := Func(m, fn); n == 0 {
+		t.Fatalf("final store to a frame local before return should die:\n%s",
+			ir.FormatFunc(fn, &m.Tags))
+	}
+	if res := testutil.Run(t, m); res.Exit != 5 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+}
+
+func TestLocalReadByCalleeSurvives(t *testing.T) {
+	m := testutil.Compile(t, `
+int observe(int *p) { return *p; }
+int f(void) {
+	int local;
+	local = 7;
+	return observe(&local);   /* call reads local before the return */
+}
+int main(void) { return f(); }
+`)
+	want := testutil.Run(t, testutil.Compile(t, `
+int observe(int *p) { return *p; }
+int f(void) {
+	int local;
+	local = 7;
+	return observe(&local);
+}
+int main(void) { return f(); }
+`))
+	fn := m.Funcs["f"]
+	Func(m, fn)
+	got := testutil.MustBehaveLike(t, m, want)
+	if got.Exit != 7 {
+		t.Fatalf("exit = %d", got.Exit)
+	}
+}
+
+// TestSoundOnRandomPrograms: DSE never changes observable behaviour.
+func TestSoundOnRandomPrograms(t *testing.T) {
+	count := 40
+	if testing.Short() {
+		count = 10
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := testgen.Program(rng.Int63())
+		want := testutil.Run(t, testutil.Compile(t, src))
+		m := testutil.Compile(t, src)
+		Run(m)
+		if err := ir.VerifyModule(m); err != nil {
+			t.Logf("invalid IL: %v", err)
+			return false
+		}
+		got, err := interp.Run(m, interp.Options{})
+		if err != nil {
+			t.Logf("%v\n%s", err, src)
+			return false
+		}
+		if got.Output != want.Output || got.Exit != want.Exit {
+			t.Logf("diverged\n%s", src)
+			return false
+		}
+		if got.Counts.Stores > want.Counts.Stores {
+			t.Log("DSE increased stores")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: count}); err != nil {
+		t.Fatal(err)
+	}
+}

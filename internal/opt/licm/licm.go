@@ -1,0 +1,174 @@
+// Package licm implements loop-invariant code motion: pure register
+// computations whose operands do not change inside a loop are hoisted
+// to the loop's landing pad. Address computations hoisted this way are
+// what the §3.3 pointer-based promotion keys on ("This algorithm
+// relies on loop-invariant code motion to identify the loop-invariant
+// base registers and place the computation of these registers outside
+// a loop"). cLoads (invariant-by-contract memory values, Table 1) are
+// hoisted too; sLoad/pLoad removal is left to promotion and PRE,
+// matching the paper's division of labor.
+//
+// Because the IL is not in SSA form, a hoist candidate must satisfy
+// strict conditions: it is the register's only definition in the
+// function, it dominates every use of the register, its operands have
+// no definitions inside the loop, and the operation cannot fault when
+// executed speculatively (division is excluded).
+package licm
+
+import (
+	"regpromo/internal/cfg"
+	"regpromo/internal/ir"
+)
+
+// Run hoists invariant code in every function and returns the number
+// of instructions moved.
+func Run(m *ir.Module) int {
+	n := 0
+	for _, fn := range m.FuncsInOrder() {
+		n += Func(fn)
+	}
+	return n
+}
+
+// Func hoists invariant code in one function.
+func Func(fn *ir.Func) int {
+	dom, forest := cfg.Normalize(fn)
+	if len(forest.Loops) == 0 {
+		return 0
+	}
+	st := newState(fn, dom)
+	moved := 0
+	// Innermost loops first, so code migrates outward one level per
+	// pass; repeat until nothing moves.
+	for {
+		n := 0
+		loops := forest.PreorderLoops()
+		for i := len(loops) - 1; i >= 0; i-- {
+			n += st.hoist(loops[i])
+		}
+		moved += n
+		if n == 0 {
+			return moved
+		}
+	}
+}
+
+type state struct {
+	fn  *ir.Func
+	dom *cfg.DomTree
+	// defCount counts definitions per register over the whole
+	// function; maintained across hoists (moves do not change it).
+	defCount map[ir.Reg]int
+}
+
+func newState(fn *ir.Func, dom *cfg.DomTree) *state {
+	st := &state{fn: fn, dom: dom, defCount: make(map[ir.Reg]int)}
+	// Parameters carry an implicit entry definition.
+	for _, p := range fn.Params {
+		st.defCount[p]++
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.RegInvalid {
+				st.defCount[d]++
+			}
+		}
+	}
+	return st
+}
+
+// hoist moves invariant instructions of l into its landing pad.
+func (st *state) hoist(l *cfg.Loop) int {
+	moved := 0
+	// Definitions inside this loop.
+	loopDefs := make(map[ir.Reg]int)
+	for b := range l.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.RegInvalid {
+				loopDefs[d]++
+			}
+		}
+	}
+	var buf [8]ir.Reg
+	for _, b := range l.BlocksInOrder() {
+		for i := 0; i < len(b.Instrs); i++ {
+			in := &b.Instrs[i]
+			if !hoistable(in) {
+				continue
+			}
+			d := in.Def()
+			if d == ir.RegInvalid || st.defCount[d] != 1 {
+				continue
+			}
+			invariant := true
+			for _, u := range in.Uses(buf[:0]) {
+				if loopDefs[u] != 0 {
+					invariant = false
+					break
+				}
+			}
+			if !invariant || !st.dominatesAllUses(b, i, d) {
+				continue
+			}
+			hoisted := in.Clone()
+			b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+			i--
+			insertBeforeTerminator(l.Pad, hoisted)
+			loopDefs[d] = 0
+			moved++
+		}
+	}
+	return moved
+}
+
+// dominatesAllUses reports whether the definition at (db, di) dominates
+// every use of r in the function.
+func (st *state) dominatesAllUses(db *ir.Block, di int, r ir.Reg) bool {
+	var buf [8]ir.Reg
+	for _, b := range st.fn.Blocks {
+		for i := range b.Instrs {
+			for _, u := range b.Instrs[i].Uses(buf[:0]) {
+				if u != r {
+					continue
+				}
+				if b == db {
+					if i <= di {
+						return false
+					}
+					continue
+				}
+				if !st.dom.Dominates(db, b) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// hoistable reports whether the instruction may be executed
+// speculatively in the landing pad: pure, no memory access, and
+// incapable of faulting (division is excluded).
+func hoistable(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpLoadI, ir.OpLoadF, ir.OpAddrOf,
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpNeg,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot, ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE,
+		ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFNeg,
+		ir.OpFCmpEQ, ir.OpFCmpNE, ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpGT, ir.OpFCmpGE,
+		ir.OpI2F, ir.OpF2I:
+		return true
+	case ir.OpCLoad:
+		// cLoad names an invariant value by definition (Table 1).
+		return true
+	}
+	return false
+}
+
+func insertBeforeTerminator(b *ir.Block, in ir.Instr) {
+	n := len(b.Instrs)
+	b.Instrs = append(b.Instrs, ir.Instr{})
+	copy(b.Instrs[n:], b.Instrs[n-1:])
+	b.Instrs[n-1] = in
+}

@@ -1,0 +1,259 @@
+// Package pre implements the load-redundancy half of partial
+// redundancy elimination. The paper's compiler uses PRE with memory
+// tag information to remove redundant loads in straight-line code
+// while treating stores conservatively (§3.4: "It uses the tag fields
+// to eliminate redundant loads. It must treat stores more
+// conservatively."); this pass does the same, globally.
+//
+// The analysis computes, for every block boundary, the set of
+// available (tag, register) pairs: pairs such that on every incoming
+// path the register holds the tag's current memory value. A load
+// generates its (tag, destination) pair; a scalar store generates
+// (tag, source); an ambiguous write kills every pair for the tags it
+// may touch; redefining a register kills the pairs it holds. Only
+// single-definition registers participate, so a pair can never be
+// silently invalidated by an unrelated redefinition on another path.
+// Gen and kill are independent of the incoming fact set, which makes
+// the transfer functions distributive and the fixed point exact.
+//
+// A later sLoad of a tag with an available pair is rewritten into a
+// copy from the holding register. This also achieves "most of the
+// effects of promotion in straight-line code" (§3.1).
+package pre
+
+import (
+	"sort"
+
+	"regpromo/internal/ir"
+)
+
+// Run eliminates redundant loads in every function; it returns the
+// number of loads removed.
+func Run(m *ir.Module) int {
+	n := 0
+	for _, fn := range m.FuncsInOrder() {
+		n += Func(fn)
+	}
+	return n
+}
+
+// fact is one available pair: reg holds tag's current value, loaded
+// or stored with the given access width.
+type fact struct {
+	tag  ir.TagID
+	reg  ir.Reg
+	size int
+}
+
+// facts is an immutable-ish set of facts.
+type facts map[fact]bool
+
+func (f facts) clone() facts {
+	out := make(facts, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b facts) facts {
+	out := make(facts)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func equal(a, b facts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Func eliminates redundant loads in one function.
+func Func(fn *ir.Func) int {
+	fn.RemoveUnreachable()
+	n := len(fn.Blocks)
+
+	defCount := make(map[ir.Reg]int)
+	// Parameters carry an implicit entry definition.
+	for _, p := range fn.Params {
+		defCount[p]++
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.RegInvalid {
+				defCount[d]++
+			}
+		}
+	}
+
+	// Iterate in reverse postorder so every block (except the entry)
+	// sees at least one processed predecessor on the first sweep. A
+	// nil OUT means ⊤ — "not yet computed" — and such predecessors
+	// are skipped in the meet; they must never be treated as ∅, or
+	// the descent from ⊤ would lose monotonicity and could cycle.
+	rpo := reversePostorder(fn)
+	in := make([]facts, n)
+	out := make([]facts, n)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			var cur facts
+			if b == fn.Entry {
+				cur = make(facts) // nothing is available at entry
+			} else {
+				first := true
+				for _, p := range b.Preds {
+					po := out[p.ID]
+					if po == nil {
+						continue // ⊤: contributes nothing to the meet
+					}
+					if first {
+						cur = po.clone()
+						first = false
+					} else {
+						cur = intersect(cur, po)
+					}
+				}
+				if cur == nil {
+					// Every predecessor still ⊤: revisit next sweep.
+					continue
+				}
+			}
+			in[b.ID] = cur.clone()
+			transfer(b, cur, defCount, false)
+			if out[b.ID] == nil || !equal(out[b.ID], cur) {
+				out[b.ID] = cur
+				changed = true
+			}
+		}
+	}
+
+	removed := 0
+	for _, b := range fn.Blocks {
+		if in[b.ID] == nil {
+			continue // unreachable in RPO (no processed predecessor)
+		}
+		removed += transfer(b, in[b.ID], defCount, true)
+	}
+	return removed
+}
+
+// reversePostorder lists reachable blocks, entry first.
+func reversePostorder(fn *ir.Func) []*ir.Block {
+	seen := make([]bool, len(fn.Blocks))
+	var post []*ir.Block
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		post = append(post, b)
+	}
+	walk(fn.Entry)
+	out := make([]*ir.Block, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	return out
+}
+
+// transfer applies b's instructions to cur; in rewrite mode redundant
+// loads become copies (the state transitions are identical either
+// way: a load's destination holds the tag's value whether the value
+// arrived from memory or from the copy source).
+func transfer(b *ir.Block, cur facts, defCount map[ir.Reg]int, rewrite bool) int {
+	removed := 0
+	for i := range b.Instrs {
+		instr := &b.Instrs[i]
+		switch instr.Op {
+		case ir.OpSLoad, ir.OpCLoad:
+			if rewrite {
+				if r, ok := holder(cur, instr.Tag, instr.Size); ok && r != instr.Dst {
+					*instr = ir.Instr{Op: ir.OpCopy, Dst: instr.Dst, A: r}
+					removed++
+				}
+			}
+			killReg(cur, instr.Dst)
+			if defCount[instr.Dst] == 1 {
+				cur[fact{instr.Tag, instr.Dst, instr.Size}] = true
+			}
+		case ir.OpSStore:
+			killTag(cur, instr.Tag)
+			if defCount[instr.A] == 1 {
+				cur[fact{instr.Tag, instr.A, instr.Size}] = true
+			}
+		case ir.OpPStore:
+			killTags(cur, instr.Tags)
+		case ir.OpJsr:
+			killTags(cur, instr.Mods)
+			if d := instr.Def(); d != ir.RegInvalid {
+				killReg(cur, d)
+			}
+		default:
+			if d := instr.Def(); d != ir.RegInvalid {
+				killReg(cur, d)
+			}
+		}
+	}
+	return removed
+}
+
+// holder picks the available register for (tag, size),
+// deterministically (lowest register number).
+func holder(cur facts, tag ir.TagID, size int) (ir.Reg, bool) {
+	var regs []ir.Reg
+	for k := range cur {
+		if k.tag == tag && k.size == size {
+			regs = append(regs, k.reg)
+		}
+	}
+	if len(regs) == 0 {
+		return ir.RegInvalid, false
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	return regs[0], true
+}
+
+func killReg(cur facts, r ir.Reg) {
+	for k := range cur {
+		if k.reg == r {
+			delete(cur, k)
+		}
+	}
+}
+
+func killTag(cur facts, t ir.TagID) {
+	for k := range cur {
+		if k.tag == t {
+			delete(cur, k)
+		}
+	}
+}
+
+func killTags(cur facts, tags ir.TagSet) {
+	if tags.IsTop() {
+		for k := range cur {
+			delete(cur, k)
+		}
+		return
+	}
+	for k := range cur {
+		if tags.Has(k.tag) {
+			delete(cur, k)
+		}
+	}
+}

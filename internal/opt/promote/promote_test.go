@@ -1,0 +1,313 @@
+package promote
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regpromo/internal/cfg"
+	"regpromo/internal/interp"
+	"regpromo/internal/ir"
+	"regpromo/internal/opt/licm"
+	"regpromo/internal/testgen"
+	"regpromo/internal/testutil"
+)
+
+func TestScalarPromotionMovesTraffic(t *testing.T) {
+	src := `
+int g;
+int main(void) {
+	int i;
+	for (i = 0; i < 200; i++) g += i;
+	print_int(g);
+	return 0;
+}
+`
+	want := testutil.Run(t, testutil.Compile(t, src))
+	m := testutil.Compile(t, src)
+	st := Run(m, Options{})
+	if st.ScalarPromotions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	testutil.VerifyAll(t, m)
+	got := testutil.MustBehaveLike(t, m, want)
+	if got.Counts.Stores >= want.Counts.Stores {
+		t.Fatalf("stores %d -> %d", want.Counts.Stores, got.Counts.Stores)
+	}
+}
+
+func TestAmbiguousReferencesBlockPromotion(t *testing.T) {
+	// The loop stores through a pointer that may alias g.
+	src := `
+int g;
+int main(void) {
+	int i;
+	int *p;
+	p = &g;
+	for (i = 0; i < 10; i++) {
+		g += 1;
+		*p = g * 2;
+	}
+	print_int(g);
+	return 0;
+}
+`
+	m := testutil.Compile(t, src)
+	st := Run(m, Options{})
+	if st.ScalarPromotions != 0 {
+		t.Fatalf("g is aliased in the loop; promotions = %d", st.ScalarPromotions)
+	}
+}
+
+func TestCallsBlockPromotionOfTouchedTags(t *testing.T) {
+	src := `
+int touched;
+int untouched;
+void bump(void) { touched++; }
+int main(void) {
+	int i;
+	for (i = 0; i < 10; i++) {
+		touched += i;
+		untouched += i;
+		bump();
+	}
+	print_int(touched);
+	print_int(untouched);
+	return 0;
+}
+`
+	m := testutil.Compile(t, src)
+	want := testutil.Run(t, testutil.Compile(t, src))
+	st := Run(m, Options{})
+	if st.ScalarPromotions != 1 {
+		t.Fatalf("only untouched should promote; stats = %+v", st)
+	}
+	testutil.MustBehaveLike(t, m, want)
+}
+
+func TestFigure3PointerPromotion(t *testing.T) {
+	// The paper's Figure 3: B[i] accumulated in an inner loop through
+	// an invariant base address.
+	src := `
+int A[8][8];
+int B[8];
+int main(void) {
+	int i;
+	int j;
+	for (i = 0; i < 8; i++)
+		for (j = 0; j < 8; j++)
+			A[i][j] = i * 8 + j;
+	for (i = 0; i < 8; i++) {
+		B[i] = 0;
+		for (j = 0; j < 8; j++) {
+			B[i] += A[i][j];
+		}
+	}
+	print_int(B[0]);
+	print_int(B[7]);
+	return 0;
+}
+`
+	want := testutil.Run(t, testutil.Compile(t, src))
+	m := testutil.Compile(t, src)
+	licm.Run(m) // hoists the invariant base addresses (§3.3 precondition)
+	st := Run(m, Options{Pointer: true})
+	if st.PointerPromotions == 0 {
+		t.Fatalf("B[i] should promote; stats = %+v\n%s",
+			st, ir.FormatFunc(m.Funcs["main"], &m.Tags))
+	}
+	got := testutil.MustBehaveLike(t, m, want)
+	if got.Counts.Loads >= want.Counts.Loads {
+		t.Fatalf("pointer promotion should remove loads: %d -> %d",
+			want.Counts.Loads, got.Counts.Loads)
+	}
+	if got.Counts.Stores >= want.Counts.Stores {
+		t.Fatalf("pointer promotion should remove stores: %d -> %d",
+			want.Counts.Stores, got.Counts.Stores)
+	}
+}
+
+func TestPointerPromotionRespectsConflicts(t *testing.T) {
+	// Two different bases into the same array within the loop: no
+	// group may promote.
+	src := `
+int B[8];
+int main(void) {
+	int i;
+	int j;
+	for (i = 0; i < 8; i++) {
+		for (j = 0; j < 8; j++) {
+			B[i] += j;
+			B[(i + 1) & 7] ^= j;   /* second access path into B */
+		}
+	}
+	print_int(B[3]);
+	return 0;
+}
+`
+	want := testutil.Run(t, testutil.Compile(t, src))
+	m := testutil.Compile(t, src)
+	licm.Run(m)
+	Run(m, Options{Pointer: true})
+	testutil.VerifyAll(t, m)
+	testutil.MustBehaveLike(t, m, want)
+}
+
+func TestDemotionStoreOptions(t *testing.T) {
+	// A tag only read in the loop: the paper's policy still stores at
+	// the exit; the refinement skips it.
+	src := `
+int ro;
+int main(void) {
+	int i;
+	int acc;
+	ro = 5;
+	acc = 0;
+	for (i = 0; i < 10; i++) acc += ro;
+	print_int(acc);
+	return 0;
+}
+`
+	want := testutil.Run(t, testutil.Compile(t, src))
+
+	faithful := testutil.Compile(t, src)
+	Run(faithful, Options{})
+	f := testutil.MustBehaveLike(t, faithful, want)
+
+	refined := testutil.Compile(t, src)
+	Run(refined, Options{SkipUnwrittenStores: true})
+	r := testutil.MustBehaveLike(t, refined, want)
+
+	if r.Counts.Stores >= f.Counts.Stores {
+		t.Fatalf("refinement must save the read-only demotion store: %d vs %d",
+			f.Counts.Stores, r.Counts.Stores)
+	}
+}
+
+// TestLiftPartition checks the equation (4) invariant: within any
+// loop-nest path from an outermost loop to an innermost one, a tag
+// appears in at most one L_LIFT set.
+func TestLiftPartition(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := testgen.Program(rng.Int63())
+		m := testutil.Compile(t, src)
+		for _, fn := range m.FuncsInOrder() {
+			_, forest := cfg.Normalize(fn)
+			if len(forest.Loops) == 0 {
+				continue
+			}
+			info := AnalyzeFunc(m, fn, forest)
+			for _, l := range forest.Loops {
+				for anc := l.Parent; anc != nil; anc = anc.Parent {
+					both := info.ByLoop[l].Lift.Intersect(info.ByLoop[anc].Lift)
+					if !both.IsEmpty() {
+						t.Logf("%s: tag lifted twice on a nest path: %s",
+							fn.Name, both.Format(&m.Tags))
+						return false
+					}
+				}
+				// Lift ⊆ Promotable ⊆ Explicit.
+				ls := info.ByLoop[l]
+				if !ls.Lift.SubsetOf(ls.Promotable) || !ls.Promotable.SubsetOf(ls.Explicit) {
+					return false
+				}
+				// Promotable ∩ Ambiguous = ∅.
+				if ls.Promotable.Intersects(ls.Ambiguous) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPromotionSoundOnRandomPrograms: behaviour is identical with
+// promotion on and off (both promotion flavours).
+func TestPromotionSoundOnRandomPrograms(t *testing.T) {
+	count := 30
+	if testing.Short() {
+		count = 8
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := testgen.Program(rng.Int63())
+		want := testutil.Run(t, testutil.Compile(t, src))
+		for _, opts := range []Options{
+			{},
+			{Pointer: true},
+			{SkipUnwrittenStores: true},
+			{Pointer: true, SkipUnwrittenStores: true},
+		} {
+			m := testutil.Compile(t, src)
+			licm.Run(m)
+			Run(m, opts)
+			if err := ir.VerifyModule(m); err != nil {
+				t.Logf("invalid IL under %+v: %v", opts, err)
+				return false
+			}
+			got, err := interp.Run(m, interp.Options{})
+			if err != nil {
+				t.Logf("%v\n%s", err, src)
+				return false
+			}
+			if got.Output != want.Output || got.Exit != want.Exit {
+				t.Logf("diverged under %+v\n%s", opts, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: count}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroTripLoopStaysCorrect(t *testing.T) {
+	// Promotion's landing-pad load and exit store execute even when
+	// the loop body never runs; the value must round-trip unchanged.
+	src := `
+int g;
+int main(void) {
+	int i;
+	int n;
+	g = 77;
+	n = 0;
+	for (i = 0; i < n; i++) g = 0;
+	print_int(g);
+	return 0;
+}
+`
+	want := testutil.Run(t, testutil.Compile(t, src))
+	m := testutil.Compile(t, src)
+	Run(m, Options{})
+	testutil.MustBehaveLike(t, m, want)
+}
+
+func TestMultipleExitsGetStores(t *testing.T) {
+	src := `
+int g;
+int main(void) {
+	int i;
+	for (i = 0; i < 100; i++) {
+		g += i;
+		if (g > 50) break;   /* second exit */
+	}
+	print_int(g);
+	return 0;
+}
+`
+	want := testutil.Run(t, testutil.Compile(t, src))
+	m := testutil.Compile(t, src)
+	st := Run(m, Options{})
+	if st.ScalarPromotions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.StoresInserted < 2 {
+		t.Fatalf("both exits need demotion stores, inserted %d", st.StoresInserted)
+	}
+	testutil.MustBehaveLike(t, m, want)
+}

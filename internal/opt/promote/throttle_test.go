@@ -1,0 +1,134 @@
+package promote
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"regpromo/internal/ir"
+	"regpromo/internal/testutil"
+)
+
+// manyAccumulators builds a program with n global accumulators all
+// hot in one loop.
+func manyAccumulators(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "int a%02d;\n", i)
+	}
+	sb.WriteString("int main(void) {\n\tint i;\n\tfor (i = 0; i < 50; i++) {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "\t\ta%02d = (a%02d + i) & 65535;\n", i, i)
+	}
+	sb.WriteString("\t}\n\tprint_int(")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(" ^ ")
+		}
+		fmt.Fprintf(&sb, "a%02d", i)
+	}
+	sb.WriteString(");\n\treturn 0;\n}\n")
+	return sb.String()
+}
+
+func TestThrottleBoundsPromotions(t *testing.T) {
+	src := manyAccumulators(24)
+	want := testutil.Run(t, testutil.Compile(t, src))
+
+	unthrottled := testutil.Compile(t, src)
+	stU := Run(unthrottled, Options{})
+	if stU.ScalarPromotions != 24 {
+		t.Fatalf("unthrottled should promote all 24, got %d", stU.ScalarPromotions)
+	}
+	testutil.MustBehaveLike(t, unthrottled, want)
+
+	throttled := testutil.Compile(t, src)
+	stT := Run(throttled, Options{PressureLimit: 16})
+	if stT.ScalarPromotions >= stU.ScalarPromotions {
+		t.Fatalf("throttle had no effect: %d vs %d", stT.ScalarPromotions, stU.ScalarPromotions)
+	}
+	if stT.ScalarPromotions == 0 {
+		t.Fatal("throttle should leave room for some promotions")
+	}
+	testutil.MustBehaveLike(t, throttled, want)
+}
+
+func TestThrottleKeepsHottestTags(t *testing.T) {
+	// One tag referenced five times per iteration, others once: under
+	// a tight budget the hot one must be among the survivors.
+	src := `
+int hot;
+int cold1;
+int cold2;
+int cold3;
+int cold4;
+int cold5;
+int cold6;
+int cold7;
+int cold8;
+int main(void) {
+	int i;
+	for (i = 0; i < 50; i++) {
+		hot += i; hot ^= 3; hot &= 65535; hot |= 1; hot -= i & 1;
+		cold1 += i;
+		cold2 += i;
+		cold3 += i;
+		cold4 += i;
+		cold5 += i;
+		cold6 += i;
+		cold7 += i;
+		cold8 += i;
+	}
+	print_int(hot ^ cold1 ^ cold5 ^ cold8);
+	return 0;
+}
+`
+	want := testutil.Run(t, testutil.Compile(t, src))
+	m := testutil.Compile(t, src)
+	// Budget of demand+margin+2: roughly two promotions allowed.
+	st := Run(m, Options{PressureLimit: 10})
+	if st.ScalarPromotions == 0 || st.ScalarPromotions >= 9 {
+		t.Fatalf("expected a partial promotion set, got %d", st.ScalarPromotions)
+	}
+	// The hot tag must have been rewritten: no remaining scalar ops
+	// on it inside main.
+	fn := m.Funcs["main"]
+	hotRefsInLoop := 0
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.IsMem() && in.Tag != ir.TagInvalid && m.Tags.Get(in.Tag).Name == "hot" {
+				hotRefsInLoop++
+			}
+		}
+	}
+	// Landing-pad load + exit store + the post-loop print read
+	// remain; the five in-loop references became copies.
+	if hotRefsInLoop > 3 {
+		t.Fatalf("hot tag not prioritized: %d scalar refs remain", hotRefsInLoop)
+	}
+	testutil.MustBehaveLike(t, m, want)
+}
+
+func TestZeroLimitMeansUnthrottled(t *testing.T) {
+	src := manyAccumulators(8)
+	a := testutil.Compile(t, src)
+	b := testutil.Compile(t, src)
+	stA := Run(a, Options{})
+	stB := Run(b, Options{PressureLimit: 0})
+	if stA.ScalarPromotions != stB.ScalarPromotions {
+		t.Fatalf("zero limit must disable throttling: %d vs %d",
+			stA.ScalarPromotions, stB.ScalarPromotions)
+	}
+}
+
+func TestTinyBudgetSuppressesPromotion(t *testing.T) {
+	src := manyAccumulators(8)
+	want := testutil.Run(t, testutil.Compile(t, src))
+	m := testutil.Compile(t, src)
+	st := Run(m, Options{PressureLimit: 1})
+	if st.ScalarPromotions != 0 {
+		t.Fatalf("budget of 1 register should promote nothing, got %d", st.ScalarPromotions)
+	}
+	testutil.MustBehaveLike(t, m, want)
+}

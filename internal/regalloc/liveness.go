@@ -1,0 +1,115 @@
+// Package regalloc implements Chaitin–Briggs graph-coloring register
+// allocation with conservative coalescing and optimistic coloring,
+// after Briggs, Cooper & Torczon [1]. Promotion introduces copies
+// between promoted values and their home registers; the coalescer
+// removes most of them ("It is quite effective at eliminating copies
+// like these", §3.1). When demand for registers exceeds the supply K,
+// values spill to dedicated frame slots with explicit loads and
+// stores — the mechanism behind the paper's water anecdote, where
+// promoting twenty-eight values caused enough spilling to lose the
+// promotion's benefit (§5).
+package regalloc
+
+import "regpromo/internal/ir"
+
+// bitset is a fixed-capacity bit vector over register numbers.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) has(r ir.Reg) bool { return s[r/64]&(1<<(uint(r)%64)) != 0 }
+func (s bitset) add(r ir.Reg)      { s[r/64] |= 1 << (uint(r) % 64) }
+func (s bitset) del(r ir.Reg)      { s[r/64] &^= 1 << (uint(r) % 64) }
+
+func (s bitset) orInto(o bitset) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s bitset) clone() bitset {
+	out := make(bitset, len(s))
+	copy(out, s)
+	return out
+}
+
+func (s bitset) forEach(f func(ir.Reg)) {
+	for i, w := range s {
+		for w != 0 {
+			b := w & -w
+			r := ir.Reg(i*64 + popcount(b-1))
+			f(r)
+			w &^= b
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// liveness computes per-block live-in/live-out sets.
+type liveness struct {
+	liveIn  []bitset
+	liveOut []bitset
+}
+
+func computeLiveness(fn *ir.Func) *liveness {
+	n := len(fn.Blocks)
+	nr := fn.NumRegs
+	use := make([]bitset, n)
+	def := make([]bitset, n)
+	lv := &liveness{liveIn: make([]bitset, n), liveOut: make([]bitset, n)}
+	var buf [8]ir.Reg
+	for _, b := range fn.Blocks {
+		u, d := newBitset(nr), newBitset(nr)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, r := range in.Uses(buf[:0]) {
+				if !d.has(r) {
+					u.add(r)
+				}
+			}
+			if dd := in.Def(); dd != ir.RegInvalid {
+				d.add(dd)
+			}
+		}
+		use[b.ID], def[b.ID] = u, d
+		lv.liveIn[b.ID] = newBitset(nr)
+		lv.liveOut[b.ID] = newBitset(nr)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(fn.Blocks) - 1; i >= 0; i-- {
+			b := fn.Blocks[i]
+			out := lv.liveOut[b.ID]
+			for _, s := range b.Succs {
+				if out.orInto(lv.liveIn[s.ID]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			in := lv.liveIn[b.ID]
+			tmp := out.clone()
+			for j := range tmp {
+				tmp[j] &^= def[b.ID][j]
+				tmp[j] |= use[b.ID][j]
+			}
+			if in.orInto(tmp) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}

@@ -1,0 +1,540 @@
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"regpromo/internal/cfg"
+	"regpromo/internal/ir"
+)
+
+// DefaultK is the physical register count used by the experiments,
+// matching a generous RISC integer file.
+const DefaultK = 32
+
+// debugRounds enables per-round spill tracing (tests only).
+var debugRounds = false
+
+// maxLiveSeen tracks the largest live set observed while tracing.
+var maxLiveSeen = 0
+
+// DebugRounds toggles per-round spill tracing.
+func DebugRounds(v bool) { debugRounds = v }
+
+// Options configure allocation.
+type Options struct {
+	// K is the number of physical registers (DefaultK when 0).
+	K int
+}
+
+// Stats reports allocation activity.
+type Stats struct {
+	// Spilled counts virtual registers sent to memory.
+	Spilled int
+	// SpillLoads and SpillStores count the static spill operations
+	// inserted.
+	SpillLoads  int
+	SpillStores int
+	// Coalesced counts copies eliminated by coalescing (including
+	// copies whose ends happened to receive one color).
+	Coalesced int
+	// Rounds is the number of build–color iterations used.
+	Rounds int
+}
+
+func (s *Stats) add(o Stats) {
+	s.Spilled += o.Spilled
+	s.SpillLoads += o.SpillLoads
+	s.SpillStores += o.SpillStores
+	s.Coalesced += o.Coalesced
+	if o.Rounds > s.Rounds {
+		s.Rounds = o.Rounds
+	}
+}
+
+// Run allocates registers for every function.
+func Run(m *ir.Module, opts Options) (Stats, error) {
+	var total Stats
+	for _, fn := range m.FuncsInOrder() {
+		st, err := Func(m, fn, opts)
+		if err != nil {
+			return total, err
+		}
+		total.add(st)
+	}
+	return total, nil
+}
+
+// graph is the interference graph with coalescing union-find.
+type graph struct {
+	n     int
+	adj   []map[ir.Reg]bool
+	alias []ir.Reg // union-find parent (self when representative)
+	moves [][2]ir.Reg
+	cost  []float64
+	// isParam marks registers that receive arguments at entry.
+	isParam []bool
+	// remat maps a single-definition register whose value can be
+	// recomputed anywhere (constants and address materializations)
+	// to its defining instruction. Spilling such a register re-issues
+	// the definition at each use instead of going through memory
+	// (Briggs-style rematerialization).
+	remat map[ir.Reg]ir.Instr
+	// defs counts definitions per register.
+	defs map[ir.Reg]int
+}
+
+func (g *graph) find(r ir.Reg) ir.Reg {
+	for g.alias[r] != r {
+		g.alias[r] = g.alias[g.alias[r]]
+		r = g.alias[r]
+	}
+	return r
+}
+
+func (g *graph) interferes(a, b ir.Reg) bool {
+	a, b = g.find(a), g.find(b)
+	if a == b {
+		return false
+	}
+	return g.adj[a][b]
+}
+
+func (g *graph) addEdge(a, b ir.Reg) {
+	a, b = g.find(a), g.find(b)
+	if a == b {
+		return
+	}
+	if g.adj[a] == nil {
+		g.adj[a] = make(map[ir.Reg]bool)
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[ir.Reg]bool)
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// Func allocates registers for one function.
+func Func(m *ir.Module, fn *ir.Func, opts Options) (Stats, error) {
+	k := opts.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	var stats Stats
+	// Registers created by earlier spill rounds must not spill again:
+	// re-spilling a reload temporary shuffles the value through yet
+	// another slot without reducing pressure, and the allocator would
+	// never converge. Spilling is reserved for original live ranges.
+	noSpill := make(map[ir.Reg]bool)
+	for round := 0; ; round++ {
+		if round > 100 {
+			return stats, fmt.Errorf("regalloc: %s did not converge after %d rounds (K=%d)", fn.Name, round, k)
+		}
+		stats.Rounds = round + 1
+		g := build(fn)
+		stats.Coalesced += coalesce(g, k)
+		colors, spills := color(g, fn, k, noSpill)
+		if debugRounds {
+			fmt.Printf("round %d: regs=%d spills=%d %v\n", round, fn.NumRegs, len(spills), spills)
+		}
+		if len(spills) == 0 {
+			stats.Coalesced += rewrite(fn, g, colors)
+			fn.Allocated = true
+			return stats, nil
+		}
+		before := fn.NumRegs
+		st := insertSpills(m, fn, spills, g)
+		for r := before; r < fn.NumRegs; r++ {
+			noSpill[ir.Reg(r)] = true
+		}
+		stats.Spilled += len(spills)
+		stats.SpillLoads += st.SpillLoads
+		stats.SpillStores += st.SpillStores
+	}
+}
+
+// build constructs the interference graph.
+func build(fn *ir.Func) *graph {
+	// Loop depths weight spill costs; dominator/loop discovery must
+	// not mutate the CFG here because the liveness arrays are
+	// indexed by block id.
+	fn.RemoveUnreachable()
+	dom := cfg.Dominators(fn)
+	forest := cfg.FindLoops(fn, dom)
+	lv := computeLiveness(fn)
+	g := &graph{
+		n:       fn.NumRegs,
+		adj:     make([]map[ir.Reg]bool, fn.NumRegs),
+		alias:   make([]ir.Reg, fn.NumRegs),
+		cost:    make([]float64, fn.NumRegs),
+		isParam: make([]bool, fn.NumRegs),
+	}
+	for i := range g.alias {
+		g.alias[i] = ir.Reg(i)
+	}
+	for _, p := range fn.Params {
+		g.isParam[p] = true
+	}
+	g.remat = make(map[ir.Reg]ir.Instr)
+	g.defs = make(map[ir.Reg]int)
+	// Parameters carry an implicit entry definition, so an in-body
+	// constant assignment to one is never rematerializable.
+	for _, p := range fn.Params {
+		g.defs[p]++
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			d := in.Def()
+			if d == ir.RegInvalid {
+				continue
+			}
+			g.defs[d]++
+			switch in.Op {
+			case ir.OpLoadI, ir.OpLoadF, ir.OpAddrOf:
+				g.remat[d] = in.Clone()
+			}
+		}
+	}
+
+	var buf [8]ir.Reg
+	for _, b := range fn.Blocks {
+		weight := 1.0
+		for d := forest.Depth(b); d > 0 && weight < 1e6; d-- {
+			weight *= 10
+		}
+		live := lv.liveOut[b.ID].clone()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			d := in.Def()
+			if in.Op == ir.OpCopy {
+				g.moves = append(g.moves, [2]ir.Reg{in.Dst, in.A})
+				// The copy's source does not interfere with its
+				// destination through this def.
+				live.del(in.A)
+			}
+			if d != ir.RegInvalid {
+				g.cost[d] += weight
+				live.forEach(func(r ir.Reg) {
+					if r != d {
+						g.addEdge(d, r)
+					}
+				})
+				live.del(d)
+			}
+			for _, u := range in.Uses(buf[:0]) {
+				g.cost[u] += weight
+				live.add(u)
+			}
+		}
+		if debugRounds {
+			n := 0
+			live.forEach(func(r ir.Reg) { n++ })
+			if n > maxLiveSeen {
+				maxLiveSeen = n
+				fmt.Printf("  maxlive %d at top of %s\n", n, b.Label)
+			}
+		}
+		if b == fn.Entry {
+			// Everything live into the entry is defined "at once" by
+			// the calling convention (parameters) or reads its zero
+			// value; give them mutual edges so they get distinct
+			// homes.
+			var entryLive []ir.Reg
+			live.forEach(func(r ir.Reg) { entryLive = append(entryLive, r) })
+			for _, p := range fn.Params {
+				entryLive = append(entryLive, p)
+			}
+			for i := 0; i < len(entryLive); i++ {
+				for j := i + 1; j < len(entryLive); j++ {
+					if entryLive[i] != entryLive[j] {
+						g.addEdge(entryLive[i], entryLive[j])
+					}
+				}
+			}
+		}
+	}
+	// Rematerializable values are nearly free to "spill": bias the
+	// allocator toward choosing them under pressure.
+	for r, n := range g.defs {
+		if n == 1 {
+			if _, ok := g.remat[r]; ok {
+				g.cost[r] *= 0.01
+			}
+		}
+	}
+	return g
+}
+
+// degreeOf counts r's distinct live neighbors (resolving aliases:
+// adjacency sets accumulate stale entries as classes merge, and the
+// stale duplicates must not inflate the conservative tests).
+func (g *graph) degreeOf(r ir.Reg) int {
+	r = g.find(r)
+	seen := map[ir.Reg]bool{}
+	for n := range g.adj[r] {
+		n = g.find(n)
+		if n != r {
+			seen[n] = true
+		}
+	}
+	return len(seen)
+}
+
+// canCoalesce applies the Briggs test (combined node has fewer than K
+// neighbors of significant degree) and falls back to the George test
+// (every neighbor of b either already interferes with a or is
+// insignificant), either of which guarantees coalescing cannot turn a
+// colorable graph uncolorable.
+func (g *graph) canCoalesce(a, b ir.Reg, k int) bool {
+	// Briggs.
+	high := 0
+	seen := map[ir.Reg]bool{}
+	for _, nb := range []map[ir.Reg]bool{g.adj[a], g.adj[b]} {
+		for r := range nb {
+			r = g.find(r)
+			if r == a || r == b || seen[r] {
+				continue
+			}
+			seen[r] = true
+			if g.degreeOf(r) >= k {
+				high++
+			}
+		}
+	}
+	if high < k {
+		return true
+	}
+	// George, both orientations.
+	george := func(x, y ir.Reg) bool {
+		for r := range g.adj[y] {
+			r = g.find(r)
+			if r == x || r == y {
+				continue
+			}
+			if g.degreeOf(r) < k || g.adj[x][r] {
+				continue
+			}
+			return false
+		}
+		return true
+	}
+	return george(a, b) || george(b, a)
+}
+
+// coalesce merges non-interfering move ends when a conservative test
+// (Briggs or George) proves the merge safe.
+func coalesce(g *graph, k int) int {
+	merged := 0
+	for changed := true; changed; {
+		changed = false
+		for _, mv := range g.moves {
+			a, b := g.find(mv[0]), g.find(mv[1])
+			if a == b {
+				continue
+			}
+			if g.interferes(a, b) {
+				continue
+			}
+			// Never merge two parameter registers: each receives a
+			// distinct argument at entry.
+			if g.isParam[a] && g.isParam[b] {
+				continue
+			}
+			if !g.canCoalesce(a, b, k) {
+				continue
+			}
+			// Merge b into a.
+			g.alias[b] = a
+			if g.adj[a] == nil {
+				g.adj[a] = make(map[ir.Reg]bool)
+			}
+			for r := range g.adj[b] {
+				r2 := g.find(r)
+				if r2 == a {
+					continue
+				}
+				g.adj[a][r2] = true
+				delete(g.adj[r2], b)
+				g.adj[r2][a] = true
+			}
+			g.adj[b] = nil
+			g.isParam[a] = g.isParam[a] || g.isParam[b]
+			g.cost[a] += g.cost[b]
+			merged++
+			changed = true
+		}
+	}
+	return merged
+}
+
+// color runs simplify/select with optimistic spilling; it returns the
+// color assignment and the registers that must spill. Classes
+// containing a register from noSpill are chosen as spill candidates
+// only when nothing else is available.
+func color(g *graph, fn *ir.Func, k int, noSpill map[ir.Reg]bool) (map[ir.Reg]int, []ir.Reg) {
+	noSpillRep := make(map[ir.Reg]bool, len(noSpill))
+	for r := range noSpill {
+		if int(r) < g.n {
+			noSpillRep[g.find(r)] = true
+		}
+	}
+	// Collect representative nodes actually used.
+	reps := map[ir.Reg]bool{}
+	var buf [8]ir.Reg
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if d := in.Def(); d != ir.RegInvalid {
+				reps[g.find(d)] = true
+			}
+			for _, u := range in.Uses(buf[:0]) {
+				reps[g.find(u)] = true
+			}
+		}
+	}
+	for _, p := range fn.Params {
+		reps[g.find(p)] = true
+	}
+
+	// Working degree map.
+	deg := map[ir.Reg]int{}
+	adj := map[ir.Reg]map[ir.Reg]bool{}
+	for r := range reps {
+		adj[r] = map[ir.Reg]bool{}
+		for n := range g.adj[r] {
+			n = g.find(n)
+			if n != r && reps[n] {
+				adj[r][n] = true
+			}
+		}
+	}
+	for r := range reps {
+		deg[r] = len(adj[r])
+	}
+
+	removed := map[ir.Reg]bool{}
+	var stack []ir.Reg
+	remaining := len(reps)
+	for remaining > 0 {
+		// Pick a trivially colorable node; otherwise the cheapest
+		// spill candidate (optimistically pushed).
+		var pick ir.Reg = ir.RegInvalid
+		var pickSpill ir.Reg = ir.RegInvalid
+		var pickLast ir.Reg = ir.RegInvalid
+		bestCost := 0.0
+		lastCost := 0.0
+		var order []ir.Reg
+		for r := range reps {
+			if !removed[r] {
+				order = append(order, r)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, r := range order {
+			if deg[r] < k {
+				pick = r
+				break
+			}
+			c := g.cost[r] / float64(deg[r]+1)
+			if noSpillRep[r] {
+				if pickLast == ir.RegInvalid || c < lastCost {
+					pickLast = r
+					lastCost = c
+				}
+				continue
+			}
+			if pickSpill == ir.RegInvalid || c < bestCost {
+				pickSpill = r
+				bestCost = c
+			}
+		}
+		if pick == ir.RegInvalid {
+			pick = pickSpill
+		}
+		if pick == ir.RegInvalid {
+			pick = pickLast
+		}
+		removed[pick] = true
+		stack = append(stack, pick)
+		for n := range adj[pick] {
+			if !removed[n] {
+				deg[n]--
+			}
+		}
+		remaining--
+	}
+
+	colors := map[ir.Reg]int{}
+	var spills []ir.Reg
+	for i := len(stack) - 1; i >= 0; i-- {
+		r := stack[i]
+		used := map[int]bool{}
+		for n := range adj[r] {
+			if c, ok := colors[n]; ok {
+				used[c] = true
+			}
+		}
+		c := -1
+		for j := 0; j < k; j++ {
+			if !used[j] {
+				c = j
+				break
+			}
+		}
+		if c == -1 {
+			spills = append(spills, r)
+			continue
+		}
+		colors[r] = c
+	}
+	return colors, spills
+}
+
+// rewrite renames every register to its color and drops copies whose
+// ends received the same color. It returns the number of copies
+// removed.
+func rewrite(fn *ir.Func, g *graph, colors map[ir.Reg]int) int {
+	rename := func(r ir.Reg) ir.Reg {
+		if r == ir.RegInvalid {
+			return r
+		}
+		c, ok := colors[g.find(r)]
+		if !ok {
+			// Dead register (never used): park it in color 0.
+			return 0
+		}
+		return ir.Reg(c)
+	}
+	removedCopies := 0
+	maxColor := 0
+	for _, c := range colors {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	for _, b := range fn.Blocks {
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			// Uses first, positionally: renaming by value would
+			// collide once colors overlap old virtual numbers.
+			in.MapUses(rename)
+			if d := in.Def(); d != ir.RegInvalid {
+				in.Dst = rename(d)
+			}
+			if in.Op == ir.OpCopy && in.Dst == in.A {
+				removedCopies++
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	for i, p := range fn.Params {
+		fn.Params[i] = rename(p)
+	}
+	fn.NumRegs = maxColor + 1
+	return removedCopies
+}

@@ -1,0 +1,134 @@
+package regalloc
+
+import (
+	"fmt"
+
+	"regpromo/internal/ir"
+)
+
+// insertSpills rewrites the function so that every spilled register
+// class lives in a dedicated frame slot: each use loads the slot into
+// a fresh temporary, each definition stores a fresh temporary back.
+// The inserted sLoad/sStore operations are real memory traffic and
+// count exactly like any other load or store — spilling is how
+// over-eager promotion loses (§5, water).
+func insertSpills(m *ir.Module, fn *ir.Func, spills []ir.Reg, g *graph) Stats {
+	var stats Stats
+	find := g.find
+
+	// Spilled representatives, as a set.
+	spillSet := make(map[ir.Reg]bool, len(spills))
+	for _, r := range spills {
+		spillSet[r] = true
+	}
+
+	// A spilled class whose only definition is a rematerializable
+	// instruction gets no slot: each use re-issues the definition.
+	remat := make(map[ir.Reg]ir.Instr, len(spills))
+	for _, rep := range spills {
+		var def ir.Instr
+		nDefs := 0
+		ok := false
+		for r := ir.Reg(0); int(r) < g.n; r++ {
+			if g.find(r) != rep {
+				continue
+			}
+			nDefs += g.defs[r]
+			if d, has := g.remat[r]; has {
+				def = d
+				ok = true
+			}
+		}
+		if ok && nDefs == 1 {
+			remat[rep] = def
+		}
+	}
+
+	// Per spilled (non-remat) class, a frame slot.
+	slot := make(map[ir.Reg]ir.TagID, len(spills))
+	for _, r := range spills {
+		if _, isRemat := remat[r]; isRemat {
+			continue
+		}
+		tag := m.Tags.NewTag(
+			fmt.Sprintf("%s.spill#%d", fn.Name, len(fn.Locals)),
+			ir.TagSpill, fn.Name, 8, 8)
+		tag.Strong = true
+		slot[r] = tag.ID
+		fn.Locals = append(fn.Locals, tag.ID)
+	}
+	stats.Spilled = len(spills)
+
+	// The caller passes the representative registers of a coalesced
+	// graph together with its find function, so member registers of
+	// a spilled class resolve to the class slot.
+	for _, b := range fn.Blocks {
+		var out []ir.Instr
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+
+			// Loads (or rematerializations) for spilled uses.
+			loaded := make(map[ir.Reg]ir.Reg)
+			in.MapUses(func(u ir.Reg) ir.Reg {
+				rep := find(u)
+				if !spillSet[rep] {
+					return u
+				}
+				if t, ok := loaded[rep]; ok {
+					return t
+				}
+				t := fn.NewReg()
+				if def, isRemat := remat[rep]; isRemat {
+					def.Dst = t
+					out = append(out, def)
+				} else {
+					out = append(out, ir.Instr{Op: ir.OpSLoad, Dst: t, Tag: slot[rep], Size: 8})
+					stats.SpillLoads++
+				}
+				loaded[rep] = t
+				return t
+			})
+
+			// Store after a spilled definition. A rematerialized
+			// class deletes its definition instead: every use has
+			// been replaced by a re-issued copy, so the original
+			// (pure, operand-free) instruction is dead — keeping it
+			// would preserve the very live range that failed to
+			// color, and the allocator would pick it again forever.
+			d := in.Def()
+			if d != ir.RegInvalid && spillSet[find(d)] {
+				rep := find(d)
+				if _, isRemat := remat[rep]; isRemat {
+					continue
+				}
+				t := fn.NewReg()
+				in.Dst = t
+				out = append(out, in)
+				out = append(out, ir.Instr{Op: ir.OpSStore, A: t, Tag: slot[rep], Size: 8})
+				stats.SpillStores++
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+
+	// A spilled parameter receives its argument in the register at
+	// entry; store it to the slot immediately. (Parameters are never
+	// rematerializable: their definition is the call itself.)
+	var entryStores []ir.Instr
+	for _, p := range fn.Params {
+		rep := find(p)
+		if spillSet[rep] {
+			if _, isRemat := remat[rep]; isRemat {
+				continue
+			}
+			entryStores = append(entryStores, ir.Instr{Op: ir.OpSStore, A: p, Tag: slot[rep], Size: 8})
+			stats.SpillStores++
+		}
+	}
+	if len(entryStores) > 0 {
+		fn.Entry.Instrs = append(entryStores, fn.Entry.Instrs...)
+	}
+	return stats
+}

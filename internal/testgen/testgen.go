@@ -1,0 +1,270 @@
+// Package testgen generates random, deterministic, terminating C
+// programs in the compiler's subset. The programs exercise the
+// features the optimizer reasons about — global scalars updated in
+// loops, address-taken locals, arrays, pointer parameters, calls,
+// nested control flow — while guaranteeing bounded loops, in-bounds
+// indexing, and division only by nonzero constants, so that any
+// behavioural difference between two compilations of the same program
+// is a compiler bug, never undefined behaviour.
+package testgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Program returns a random self-checking program for the seed. The
+// program prints a checksum of all observable state before returning
+// it from main.
+func Program(seed int64) string {
+	g := &gen{
+		rng: rand.New(rand.NewSource(seed)),
+	}
+	return g.program()
+}
+
+type gen struct {
+	rng *rand.Rand
+	sb  strings.Builder
+
+	globals []string // global int scalars
+	arrays  []string // global int arrays (all length arrayLen)
+	funcs   []fnInfo
+	depth   int
+	loopVar int
+}
+
+type fnInfo struct {
+	name    string
+	nParams int
+	ptr     bool // first parameter is int*
+}
+
+const arrayLen = 16
+
+func (g *gen) pick(n int) int { return g.rng.Intn(n) }
+
+func (g *gen) program() string {
+	nGlobals := 2 + g.pick(4)
+	for i := 0; i < nGlobals; i++ {
+		name := fmt.Sprintf("g%d", i)
+		g.globals = append(g.globals, name)
+		fmt.Fprintf(&g.sb, "int %s = %d;\n", name, g.pick(100))
+	}
+	nArrays := 1 + g.pick(2)
+	for i := 0; i < nArrays; i++ {
+		name := fmt.Sprintf("arr%d", i)
+		g.arrays = append(g.arrays, name)
+		fmt.Fprintf(&g.sb, "int %s[%d];\n", name, arrayLen)
+	}
+	g.sb.WriteString("double fg;\n")
+	g.sb.WriteString("char cbuf[16];\n")
+	g.sb.WriteString("\n")
+
+	nFuncs := 1 + g.pick(3)
+	for i := 0; i < nFuncs; i++ {
+		g.emitHelper(i)
+	}
+	g.emitMain()
+	return g.sb.String()
+}
+
+// expr generates an int-valued expression from in-scope names
+// (readable names include loop variables, which are never assigned).
+func (g *gen) expr(scope []string, depth int) string {
+	if depth <= 0 || g.pick(3) == 0 {
+		switch g.pick(3) {
+		case 0:
+			return fmt.Sprint(g.pick(64))
+		case 1:
+			if len(scope) > 0 {
+				return scope[g.pick(len(scope))]
+			}
+			return fmt.Sprint(g.pick(64))
+		default:
+			return g.globals[g.pick(len(g.globals))]
+		}
+	}
+	a := g.expr(scope, depth-1)
+	b := g.expr(scope, depth-1)
+	switch g.pick(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("((%s * %s) & 4095)", a, b)
+	case 3:
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	case 4:
+		return fmt.Sprintf("(%s | %s)", a, b)
+	case 5:
+		return fmt.Sprintf("(%s & %s)", a, b)
+	case 6:
+		return fmt.Sprintf("(%s / %d)", a, 1+g.pick(7))
+	default:
+		arr := g.arrays[g.pick(len(g.arrays))]
+		return fmt.Sprintf("%s[(%s) & %d]", arr, a, arrayLen-1)
+	}
+}
+
+func (g *gen) cond(scope []string) string {
+	ops := []string{"<", ">", "<=", ">=", "==", "!="}
+	return fmt.Sprintf("(%s) %s (%s)",
+		g.expr(scope, 1), ops[g.pick(len(ops))], g.expr(scope, 1))
+}
+
+// lvalue picks an assignable location.
+func (g *gen) lvalue(scope []string) string {
+	switch g.pick(3) {
+	case 0:
+		return g.globals[g.pick(len(g.globals))]
+	case 1:
+		if len(scope) > 0 {
+			return scope[g.pick(len(scope))]
+		}
+		return g.globals[g.pick(len(g.globals))]
+	default:
+		arr := g.arrays[g.pick(len(g.arrays))]
+		return fmt.Sprintf("%s[(%s) & %d]", arr, g.expr(scope, 1), arrayLen-1)
+	}
+}
+
+// stmt generates one statement. writable lists the local names a
+// statement may assign; readable additionally includes loop control
+// variables, which must never be written or the loop could diverge.
+func (g *gen) stmt(writable, readable []string, indent string, depth int) string {
+	var sb strings.Builder
+	switch g.pick(12) {
+	case 0, 1, 2, 3:
+		op := []string{"=", "+=", "-=", "^=", "|="}[g.pick(5)]
+		fmt.Fprintf(&sb, "%s%s %s %s;\n", indent, g.lvalue(writable), op, g.expr(readable, 2))
+	case 4:
+		if depth > 0 {
+			fmt.Fprintf(&sb, "%sif (%s) {\n", indent, g.cond(readable))
+			sb.WriteString(g.stmt(writable, readable, indent+"\t", depth-1))
+			if g.pick(2) == 0 {
+				fmt.Fprintf(&sb, "%s} else {\n", indent)
+				sb.WriteString(g.stmt(writable, readable, indent+"\t", depth-1))
+			}
+			fmt.Fprintf(&sb, "%s}\n", indent)
+		} else {
+			fmt.Fprintf(&sb, "%s%s += 1;\n", indent, g.globals[g.pick(len(g.globals))])
+		}
+	case 5:
+		if depth > 0 {
+			lv := fmt.Sprintf("t%d", g.loopVar)
+			g.loopVar++
+			n := 2 + g.pick(6)
+			fmt.Fprintf(&sb, "%s{ int %s; for (%s = 0; %s < %d; %s++) {\n",
+				indent, lv, lv, lv, n, lv)
+			innerRead := append(append([]string(nil), readable...), lv)
+			sb.WriteString(g.stmt(writable, innerRead, indent+"\t", depth-1))
+			if g.pick(2) == 0 {
+				sb.WriteString(g.stmt(writable, innerRead, indent+"\t", depth-1))
+			}
+			fmt.Fprintf(&sb, "%s} }\n", indent)
+		} else {
+			fmt.Fprintf(&sb, "%s%s ^= 3;\n", indent, g.globals[g.pick(len(g.globals))])
+		}
+	case 6:
+		// Call a helper if any exist.
+		if len(g.funcs) > 0 {
+			f := g.funcs[g.pick(len(g.funcs))]
+			var args []string
+			if f.ptr {
+				switch g.pick(3) {
+				case 0:
+					args = append(args, "&"+g.globals[g.pick(len(g.globals))])
+				case 1:
+					arr := g.arrays[g.pick(len(g.arrays))]
+					args = append(args, fmt.Sprintf("&%s[%d]", arr, g.pick(arrayLen)))
+				default:
+					if len(writable) > 0 {
+						args = append(args, "&"+writable[g.pick(len(writable))])
+					} else {
+						args = append(args, "&"+g.globals[g.pick(len(g.globals))])
+					}
+				}
+			}
+			for len(args) < f.nParams {
+				args = append(args, g.expr(readable, 1))
+			}
+			fmt.Fprintf(&sb, "%s%s += %s(%s);\n", indent,
+				g.globals[g.pick(len(g.globals))], f.name, strings.Join(args, ", "))
+		} else {
+			fmt.Fprintf(&sb, "%s%s -= 2;\n", indent, g.globals[g.pick(len(g.globals))])
+		}
+	case 7:
+		// Pointer dance through a local pointer.
+		tgt := g.globals[g.pick(len(g.globals))]
+		fmt.Fprintf(&sb, "%s{ int *p; p = &%s; *p = *p + %d; }\n", indent, tgt, 1+g.pick(9))
+	case 8:
+		// Bounded floating-point update: fg stays finite because the
+		// decay factor dominates the bounded integer increment.
+		fmt.Fprintf(&sb, "%sfg = fg * 0.25 + (%s);\n", indent, g.expr(readable, 1))
+	case 9:
+		// Character-array traffic (1-byte loads/stores, sign
+		// extension at the boundary).
+		fmt.Fprintf(&sb, "%scbuf[(%s) & 15] = (%s) & 127;\n",
+			indent, g.expr(readable, 1), g.expr(readable, 1))
+	default:
+		fmt.Fprintf(&sb, "%s%s = %s;\n", indent, g.lvalue(writable), g.expr(readable, 2))
+	}
+	return sb.String()
+}
+
+func (g *gen) emitHelper(i int) {
+	name := fmt.Sprintf("helper%d", i)
+	ptr := g.pick(2) == 0
+	nParams := 1 + g.pick(2)
+	var params []string
+	var scope []string
+	if ptr {
+		params = append(params, "int *p0")
+	}
+	for len(params) < nParams {
+		p := fmt.Sprintf("a%d", len(params))
+		params = append(params, "int "+p)
+		scope = append(scope, p)
+	}
+	fmt.Fprintf(&g.sb, "int %s(%s) {\n", name, strings.Join(params, ", "))
+	fmt.Fprintf(&g.sb, "\tint v;\n\tv = %s;\n", g.expr(scope, 2))
+	if ptr {
+		fmt.Fprintf(&g.sb, "\t*p0 = (*p0 + v) & 8191;\n")
+	}
+	n := 1 + g.pick(3)
+	for j := 0; j < n; j++ {
+		g.sb.WriteString(g.stmt(scope, scope, "\t", 1))
+	}
+	fmt.Fprintf(&g.sb, "\treturn (v & 255);\n}\n\n")
+	g.funcs = append(g.funcs, fnInfo{name: name, nParams: nParams, ptr: ptr})
+}
+
+func (g *gen) emitMain() {
+	g.sb.WriteString("int main(void) {\n")
+	g.sb.WriteString("\tint i;\n\tint check;\n\tint local0;\n\tint local1;\n")
+	g.sb.WriteString("\tlocal0 = 1;\n\tlocal1 = 2;\n")
+	scope := []string{"local0", "local1"}
+	// Initialize the arrays deterministically.
+	for _, arr := range g.arrays {
+		fmt.Fprintf(&g.sb, "\tfor (i = 0; i < %d; i++) %s[i] = i * 3 + 1;\n", arrayLen, arr)
+	}
+	n := 3 + g.pick(5)
+	for j := 0; j < n; j++ {
+		g.sb.WriteString(g.stmt(scope, scope, "\t", 2))
+	}
+	// Checksum every observable location.
+	g.sb.WriteString("\tcheck = local0 ^ local1;\n")
+	for _, gl := range g.globals {
+		fmt.Fprintf(&g.sb, "\tcheck = (check * 31 + %s) & 1048575;\n", gl)
+	}
+	for _, arr := range g.arrays {
+		fmt.Fprintf(&g.sb, "\tfor (i = 0; i < %d; i++) check = (check * 31 + %s[i]) & 1048575;\n", arrayLen, arr)
+	}
+	g.sb.WriteString("\tfor (i = 0; i < 16; i++) check = (check * 31 + cbuf[i]) & 1048575;\n")
+	g.sb.WriteString("\tcheck = (check + ((int)(fg * 8.0) & 4095)) & 1048575;\n")
+	g.sb.WriteString("\tprint_int(check);\n")
+	g.sb.WriteString("\treturn check & 127;\n}\n")
+}

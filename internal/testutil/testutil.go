@@ -1,0 +1,81 @@
+// Package testutil provides shared helpers for compiler tests:
+// compiling C snippets to analyzed IL, counting opcodes, and running
+// modules while comparing observable behaviour.
+package testutil
+
+import (
+	"testing"
+
+	"regpromo/internal/analysis/modref"
+	"regpromo/internal/callgraph"
+	"regpromo/internal/cc/irgen"
+	"regpromo/internal/cc/parser"
+	"regpromo/internal/cc/sema"
+	"regpromo/internal/interp"
+	"regpromo/internal/ir"
+)
+
+// Compile builds a module from C source, with MOD/REF analysis
+// applied (the baseline every pass expects).
+func Compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	m, err := irgen.Generate(p)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	cg := callgraph.Build(m)
+	modref.Run(m, cg)
+	return m
+}
+
+// CountOps returns how many instructions of the given opcode exist in
+// fn.
+func CountOps(fn *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Run executes the module and fails the test on runtime errors.
+func Run(t *testing.T, m *ir.Module) *interp.Result {
+	t.Helper()
+	res, err := interp.Run(m, interp.Options{})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, ir.FormatModule(m))
+	}
+	return res
+}
+
+// MustBehaveLike runs m and checks output and exit code against a
+// reference result.
+func MustBehaveLike(t *testing.T, m *ir.Module, want *interp.Result) *interp.Result {
+	t.Helper()
+	got := Run(t, m)
+	if got.Output != want.Output || got.Exit != want.Exit {
+		t.Fatalf("behaviour changed:\nwant exit=%d out=%q\ngot  exit=%d out=%q\n%s",
+			want.Exit, want.Output, got.Exit, got.Output, ir.FormatModule(m))
+	}
+	return got
+}
+
+// VerifyAll fails the test if any function is structurally invalid.
+func VerifyAll(t *testing.T, m *ir.Module) {
+	t.Helper()
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatalf("invalid IL: %v", err)
+	}
+}
