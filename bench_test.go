@@ -15,13 +15,65 @@
 package regpromo_test
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"testing"
 
 	"regpromo/internal/bench"
 	"regpromo/internal/driver"
 	"regpromo/internal/interp"
 )
+
+// TestNoRegressionAgainstBaseline guards the benchmark trajectory:
+// when a recorded baseline exists (the newest BENCH_*.json in the repo
+// root, written by `rpbench -json`), the current dynamic total-ops for
+// every program/configuration cell must not regress more than 1%
+// against it. With no baseline recorded the test is skipped — run
+// `go run ./cmd/rpbench -json` to record one.
+func TestNoRegressionAgainstBaseline(t *testing.T) {
+	baseline, path, err := bench.LatestBaseline(".")
+	if errors.Is(err, os.ErrNotExist) {
+		t.Skip("no BENCH_*.json baseline recorded; run `go run ./cmd/rpbench -json`")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("comparing against baseline %s (%s)", path, baseline.Timestamp)
+
+	var programs []string
+	for _, p := range baseline.Programs {
+		programs = append(programs, p.Name)
+	}
+	current, err := bench.CollectReport(bench.Options{Programs: programs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tolerance = 1.01
+	for _, bp := range baseline.Programs {
+		cp, ok := current.Program(bp.Name)
+		if !ok {
+			t.Errorf("%s: in baseline but missing from current suite", bp.Name)
+			continue
+		}
+		for _, bc := range bp.Configs {
+			cc, ok := cp.Config(bc.Analysis, bc.Promote)
+			if !ok {
+				t.Errorf("%s/%s promote=%v: configuration missing from current run",
+					bp.Name, bc.Analysis, bc.Promote)
+				continue
+			}
+			if bc.Counts.Ops <= 0 {
+				continue
+			}
+			limit := float64(bc.Counts.Ops) * tolerance
+			if float64(cc.Counts.Ops) > limit {
+				t.Errorf("%s/%s promote=%v: dynamic total-ops regressed >1%%: baseline %d, now %d",
+					bp.Name, bc.Analysis, bc.Promote, bc.Counts.Ops, cc.Counts.Ops)
+			}
+		}
+	}
+}
 
 // reportFigure runs the measurement matrix once per benchmark
 // iteration and publishes each row's columns as metrics.

@@ -12,6 +12,12 @@
 //	rpbench -programs a,b,c  restrict to named programs
 //	-k N                     physical register count (default 32)
 //	-markdown                emit Markdown tables (for EXPERIMENTS.md)
+//	rpbench -json            run the observed matrix and write the full
+//	                         machine-readable report — dynamic counts
+//	                         for all four configurations plus per-pass
+//	                         wall time and IR deltas per program — to a
+//	                         versioned BENCH_<timestamp>.json file
+//	-out path                destination for -json ("-" = stdout)
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"regpromo/internal/bench"
 )
@@ -30,6 +37,8 @@ func main() {
 	programs := flag.String("programs", "", "comma-separated program subset")
 	k := flag.Int("k", 0, "physical register count (0 = default)")
 	markdown := flag.Bool("markdown", false, "emit Markdown tables")
+	jsonOut := flag.Bool("json", false, "write the observed benchmark report as BENCH_<timestamp>.json")
+	out := flag.String("out", "", "output path for -json (default BENCH_<timestamp>.json, \"-\" = stdout)")
 	flag.Parse()
 
 	if *list {
@@ -40,6 +49,15 @@ func main() {
 	opts := bench.Options{K: *k}
 	if *programs != "" {
 		opts.Programs = strings.Split(*programs, ",")
+	}
+
+	if *jsonOut {
+		opts.PointerPromotion = *pointer
+		if err := runJSON(opts, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *pointer {
@@ -72,6 +90,37 @@ func main() {
 		printTable(*markdown, f, m, fr.Rows[m])
 		fmt.Println()
 	}
+}
+
+// runJSON runs the observed measurement matrix and writes the
+// versioned report. Timestamped filenames sort chronologically, so the
+// newest file is the baseline bench.LatestBaseline picks up.
+func runJSON(opts bench.Options, out string) error {
+	r, err := bench.CollectReport(opts)
+	if err != nil {
+		return err
+	}
+	now := time.Now().UTC()
+	r.Timestamp = now.Format(time.RFC3339)
+	if out == "-" {
+		return r.WriteJSON(os.Stdout)
+	}
+	if out == "" {
+		out = "BENCH_" + now.Format("20060102T150405") + ".json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d programs, schema %s)\n", out, len(r.Programs), r.Schema)
+	return nil
 }
 
 func printTable(markdown bool, figure int, m bench.Metric, rows []bench.Row) {

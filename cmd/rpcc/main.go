@@ -1,5 +1,5 @@
 // Command rpcc compiles a C source file through the register-promotion
-// pipeline and prints the resulting IL, per-pass statistics, or both.
+// pipeline and prints the resulting IL, per-pass telemetry, or both.
 //
 // Usage:
 //
@@ -12,10 +12,21 @@
 //	-noalloc                   skip register allocation
 //	-k N                       physical register count (default 32)
 //	-dump                      print the final IL
-//	-stats                     print promotion/allocation statistics
+//	-stats                     print only the statistics footer, no IL
+//	-trace                     print the per-pass trace table (wall time
+//	                           and static IR deltas per pass)
+//	-dump-ir pass|all          print the IL after the named pass (or
+//	                           after every pass)
+//	-json                      emit the whole compilation record — pass
+//	                           events, promotion and allocation
+//	                           statistics — as one JSON object
+//
+// The promotion and allocation summaries always follow the IL as
+// ";"-prefixed comment lines, so downstream IL consumers can skip them.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,11 +34,14 @@ import (
 
 	"regpromo/internal/driver"
 	"regpromo/internal/ir"
+	"regpromo/internal/obs"
+	"regpromo/internal/opt/promote"
+	"regpromo/internal/regalloc"
 )
 
 func main() {
 	analysis := flag.String("analysis", "modref", "interprocedural analysis: modref or pointer")
-	promote := flag.Bool("promote", false, "enable scalar register promotion")
+	promoteFlag := flag.Bool("promote", false, "enable scalar register promotion")
 	pointerPromo := flag.Bool("pointerpromo", false, "enable pointer-based promotion (§3.3)")
 	noopt := flag.Bool("noopt", false, "disable classical optimizations")
 	noalloc := flag.Bool("noalloc", false, "skip register allocation")
@@ -36,7 +50,10 @@ func main() {
 	dseFlag := flag.Bool("dse", false, "enable tag-based dead-store elimination (§3.4 extension)")
 	dump := flag.Bool("dump", false, "print the final IL")
 	dot := flag.String("dot", "", "emit the named function's CFG as Graphviz dot")
-	stats := flag.Bool("stats", false, "print pass statistics")
+	stats := flag.Bool("stats", false, "print only the statistics footer, no IL")
+	trace := flag.Bool("trace", false, "print the per-pass trace table")
+	dumpIR := flag.String("dump-ir", "", "print the IL after the named pass (\"all\" = every pass)")
+	jsonOut := flag.Bool("json", false, "emit the compilation record as JSON")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -52,7 +69,7 @@ func main() {
 	}
 
 	cfg := driver.Config{
-		Promote:        *promote || *pointerPromo,
+		Promote:        *promoteFlag || *pointerPromo,
 		PointerPromote: *pointerPromo,
 		DisableOpt:     *noopt,
 		NoAlloc:        *noalloc,
@@ -70,18 +87,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	c, err := driver.CompileSource(path, string(src), cfg)
+	// Observe the pipeline whenever any telemetry output was asked for.
+	var pipe *obs.Pipeline
+	if *trace || *dumpIR != "" || *jsonOut {
+		pipe = &obs.Pipeline{DumpPass: *dumpIR}
+	}
+	c, err := driver.Compile(path, string(src), cfg, pipe)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpcc:", err)
 		os.Exit(1)
 	}
-	if *stats {
-		fmt.Printf("promotions: scalar=%d pointer=%d refs-rewritten=%d lifted-loads=%d lifted-stores=%d\n",
-			c.Promote.ScalarPromotions, c.Promote.PointerPromotions,
-			c.Promote.RefsRewritten, c.Promote.LoadsInserted, c.Promote.StoresInserted)
-		fmt.Printf("allocation: spilled=%d spill-loads=%d spill-stores=%d coalesced=%d rounds=%d\n",
-			c.Alloc.Spilled, c.Alloc.SpillLoads, c.Alloc.SpillStores,
-			c.Alloc.Coalesced, c.Alloc.Rounds)
+
+	if *jsonOut {
+		if err := writeJSON(path, cfg, c, pipe); err != nil {
+			fmt.Fprintln(os.Stderr, "rpcc:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *dot != "" {
 		fn, ok := c.Module.Funcs[*dot]
@@ -92,9 +114,65 @@ func main() {
 		printDot(fn, c.Module)
 		return
 	}
-	if *dump || !*stats {
+	if *trace {
+		fmt.Print(pipe.FormatTable())
+	}
+	if *dumpIR != "" {
+		dumped := 0
+		for _, e := range pipe.Events {
+			if e.IRDump == "" {
+				continue
+			}
+			fmt.Printf(";; IL after pass %d (%s)\n%s\n", e.Index, e.Name, e.IRDump)
+			dumped++
+		}
+		if dumped == 0 {
+			fmt.Fprintf(os.Stderr, "rpcc: -dump-ir: no pass named %q ran (passes: %s)\n",
+				*dumpIR, strings.Join(pipe.PassNames(), " "))
+			os.Exit(2)
+		}
+	}
+	if *dump || (!*stats && !*trace && *dumpIR == "") {
 		fmt.Print(ir.FormatModule(c.Module))
 	}
+	printFooter(c)
+}
+
+// printFooter summarizes the promotion and allocation statistics that
+// the compilation recorded, as IL comment lines.
+func printFooter(c *driver.Compilation) {
+	fmt.Printf("; promotions: scalar=%d pointer=%d refs-rewritten=%d lifted-loads=%d lifted-stores=%d\n",
+		c.Promote.ScalarPromotions, c.Promote.PointerPromotions,
+		c.Promote.RefsRewritten, c.Promote.LoadsInserted, c.Promote.StoresInserted)
+	fmt.Printf("; allocation: spilled=%d spill-loads=%d spill-stores=%d coalesced=%d rounds=%d\n",
+		c.Alloc.Spilled, c.Alloc.SpillLoads, c.Alloc.SpillStores,
+		c.Alloc.Coalesced, c.Alloc.Rounds)
+}
+
+// record is the -json output shape: one compilation, fully described.
+type record struct {
+	File     string           `json:"file"`
+	Analysis string           `json:"analysis"`
+	Promote  bool             `json:"promote"`
+	Passes   []*obs.PassEvent `json:"passes"`
+	Stats    struct {
+		Promote promote.Stats  `json:"promote"`
+		Alloc   regalloc.Stats `json:"alloc"`
+	} `json:"stats"`
+}
+
+func writeJSON(path string, cfg driver.Config, c *driver.Compilation, pipe *obs.Pipeline) error {
+	rec := record{
+		File:     path,
+		Analysis: cfg.Analysis.String(),
+		Promote:  cfg.Promote,
+		Passes:   pipe.Events,
+	}
+	rec.Stats.Promote = c.Promote
+	rec.Stats.Alloc = c.Alloc
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
 }
 
 // printDot writes a Graphviz digraph of fn's CFG with instruction

@@ -7,7 +7,10 @@
 //
 //	rpexec [flags] file.c
 //
-// It accepts the same configuration flags as rpcc.
+// It accepts the same configuration flags as rpcc, plus -profile,
+// which prints an execution profile: the hottest basic blocks by
+// execution count and the per-tag dynamic memory traffic (-top bounds
+// both lists).
 package main
 
 import (
@@ -30,6 +33,8 @@ func main() {
 	dseFlag := flag.Bool("dse", false, "enable tag-based dead-store elimination (§3.4 extension)")
 	maxSteps := flag.Int64("maxsteps", 1<<33, "interpreter step limit")
 	quiet := flag.Bool("q", false, "suppress program output, print only counts")
+	profile := flag.Bool("profile", false, "collect and print a hot-spot profile")
+	top := flag.Int("top", 10, "profile list length (with -profile)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -68,7 +73,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rpexec:", err)
 		os.Exit(1)
 	}
-	res, err := c.Execute(interp.Options{MaxSteps: *maxSteps})
+	res, err := c.Execute(interp.Options{MaxSteps: *maxSteps, Profile: *profile})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpexec:", err)
 		os.Exit(1)
@@ -79,4 +84,7 @@ func main() {
 	fmt.Printf("exit=%d ops=%d loads=%d stores=%d copies=%d calls=%d\n",
 		res.Exit, res.Counts.Ops, res.Counts.Loads, res.Counts.Stores,
 		res.Counts.Copies, res.Counts.Calls)
+	if res.Profile != nil {
+		fmt.Print(res.Profile.Format(*top))
+	}
 }

@@ -1,0 +1,36 @@
+int A;
+int B;
+int C;
+
+int *pa = &A;
+int *pb = &B;
+
+void extern_a(void) { *pa += 1; }
+void touch_b(void)  { *pb += 1; }
+
+void fig2(int n) {
+	int i;
+	int j;
+	int k;
+	int r;
+	for (i = 0; i < n; i++) {          /* outer loop:  header "B1" */
+		C = i;
+		extern_a();                    /* references A ambiguously  */
+		for (j = 0; j < n; j++) {      /* middle loop: header "B3" */
+			B = j;
+			touch_b();                 /* references B ambiguously  */
+			for (k = 0; k < n; k++) {  /* inner loop:  header "B5" */
+				r = A;                 /* explicit load of A        */
+				C += r & 1;
+			}
+		}
+	}
+}
+
+int main(void) {
+	fig2(4);
+	print_int(A);
+	print_int(B);
+	print_int(C);
+	return 0;
+}

@@ -13,6 +13,7 @@ import (
 
 	"regpromo/internal/driver"
 	"regpromo/internal/interp"
+	"regpromo/internal/obs"
 )
 
 //go:embed programs/*.c
@@ -70,11 +71,26 @@ type Measurement struct {
 	Output  string
 	Promote int // scalar + pointer promotions performed
 	Spilled int
+
+	// Passes is the per-pass telemetry (wall time, IR deltas, pass
+	// stats) recorded when the measurement was observed; nil for
+	// plain Measure calls.
+	Passes []*obs.PassEvent
 }
 
 // Measure compiles p under cfg and executes it.
 func Measure(p Program, cfg driver.Config) (*Measurement, error) {
-	c, err := driver.CompileSource(p.Name+".c", Source(p), cfg)
+	return measureWith(p, cfg, nil)
+}
+
+// MeasureObserved is Measure with pass-manager telemetry: the
+// returned measurement carries the full per-pass event stream.
+func MeasureObserved(p Program, cfg driver.Config) (*Measurement, error) {
+	return measureWith(p, cfg, &obs.Pipeline{})
+}
+
+func measureWith(p Program, cfg driver.Config, pipe *obs.Pipeline) (*Measurement, error) {
+	c, err := driver.Compile(p.Name+".c", Source(p), cfg, pipe)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
@@ -82,12 +98,16 @@ func Measure(p Program, cfg driver.Config) (*Measurement, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
-	return &Measurement{
+	m := &Measurement{
 		Counts:  res.Counts,
 		Output:  res.Output,
 		Promote: c.Promote.ScalarPromotions + c.Promote.PointerPromotions,
 		Spilled: c.Alloc.Spilled,
-	}, nil
+	}
+	if pipe != nil {
+		m.Passes = pipe.Events
+	}
+	return m, nil
 }
 
 // Metric selects which dynamic count a figure reports.

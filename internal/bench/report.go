@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"regpromo/internal/driver"
+	"regpromo/internal/interp"
+	"regpromo/internal/obs"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump it when the
+// report shape changes incompatibly.
+const SchemaVersion = "regpromo-bench/1"
+
+// BaselineGlob matches versioned benchmark reports in the repo root.
+const BaselineGlob = "BENCH_*.json"
+
+// Report is the machine-readable benchmark trajectory: the paper's
+// full figure matrix plus per-pass compile telemetry for every
+// program under all four measurement configurations.
+type Report struct {
+	Schema string `json:"schema"`
+	// Timestamp is when the run happened (RFC 3339); the caller
+	// stamps it so report generation itself stays deterministic.
+	Timestamp string `json:"timestamp,omitempty"`
+	// MemLatency is the WeightedCycles memory-op weight in effect.
+	MemLatency int             `json:"mem_latency"`
+	Programs   []ProgramReport `json:"programs"`
+	Figures    []FigureReport  `json:"figures"`
+}
+
+// ProgramReport is one suite member's results across configurations.
+type ProgramReport struct {
+	Name    string         `json:"name"`
+	Lines   int            `json:"lines"`
+	Configs []ConfigReport `json:"configs"`
+}
+
+// ConfigReport is one (program, configuration) cell of the matrix.
+type ConfigReport struct {
+	// Analysis is "modref" or "pointer"; Promote marks the paper's
+	// "with promotion" column.
+	Analysis string `json:"analysis"`
+	Promote  bool   `json:"promote"`
+	// Counts are the dynamic execution counters (Figures 5–7 feed
+	// off these).
+	Counts interp.Counts `json:"counts"`
+	// Promotions and Spilled are the compile-side diagnostics.
+	Promotions int `json:"promotions"`
+	Spilled    int `json:"spilled"`
+	// CompileNS is total pipeline wall time; Passes itemizes it
+	// with per-pass IR deltas and statistics.
+	CompileNS int64            `json:"compile_ns"`
+	Passes    []*obs.PassEvent `json:"passes"`
+}
+
+// FigureReport is one rendered figure of the paper's matrix.
+type FigureReport struct {
+	Figure int         `json:"figure"`
+	Metric string      `json:"metric"`
+	Rows   []ReportRow `json:"rows"`
+}
+
+// ReportRow is a figure row with the derived columns made explicit.
+type ReportRow struct {
+	Program        string  `json:"program"`
+	Analysis       string  `json:"analysis"`
+	Without        int64   `json:"without"`
+	With           int64   `json:"with"`
+	Difference     int64   `json:"difference"`
+	PercentRemoved float64 `json:"percent_removed"`
+}
+
+// figureNumbers maps each metric to its figure number (8 is this
+// reproduction's weighted-cycles extension).
+var figureNumbers = map[Metric]int{TotalOps: 5, Stores: 6, Loads: 7, WeightedCycles: 8}
+
+// CollectReport runs the full observed measurement matrix: every
+// selected program is compiled with pass-manager telemetry and
+// executed under all four paper configurations. Outputs are
+// cross-checked across configurations, as in RunFigures.
+func CollectReport(opts Options) (*Report, error) {
+	r := &Report{Schema: SchemaVersion, MemLatency: MemLatency}
+	want := map[string]bool{}
+	for _, n := range opts.Programs {
+		want[n] = true
+	}
+	for _, p := range Suite() {
+		if len(want) > 0 && !want[p.Name] {
+			continue
+		}
+		pr := ProgramReport{Name: p.Name, Lines: Lines(p)}
+		var outputs []string
+		for _, analysis := range []driver.Analysis{driver.ModRef, driver.PointsTo} {
+			for _, promote := range []bool{false, true} {
+				cfg := driver.Config{Analysis: analysis, Promote: promote, K: opts.K}
+				if promote {
+					cfg.PointerPromote = opts.PointerPromotion
+				}
+				m, err := MeasureObserved(p, cfg)
+				if err != nil {
+					return nil, err
+				}
+				outputs = append(outputs, m.Output)
+				var compileNS int64
+				for _, e := range m.Passes {
+					compileNS += e.DurationNS
+				}
+				pr.Configs = append(pr.Configs, ConfigReport{
+					Analysis:   analysis.String(),
+					Promote:    promote,
+					Counts:     m.Counts,
+					Promotions: m.Promote,
+					Spilled:    m.Spilled,
+					CompileNS:  compileNS,
+					Passes:     m.Passes,
+				})
+			}
+		}
+		for _, o := range outputs[1:] {
+			if o != outputs[0] {
+				return nil, fmt.Errorf("%s: configurations disagree on program output", p.Name)
+			}
+		}
+		r.Programs = append(r.Programs, pr)
+	}
+	r.Figures = r.buildFigures()
+	return r, nil
+}
+
+// buildFigures derives the Figures 5–8 rows from the per-config
+// counts.
+func (r *Report) buildFigures() []FigureReport {
+	var figs []FigureReport
+	for _, metric := range []Metric{TotalOps, Stores, Loads, WeightedCycles} {
+		fr := FigureReport{Figure: figureNumbers[metric], Metric: metric.String()}
+		for _, p := range r.Programs {
+			for _, analysis := range []string{"modref", "pointer"} {
+				without, okW := p.Config(analysis, false)
+				with, okP := p.Config(analysis, true)
+				if !okW || !okP {
+					continue
+				}
+				row := ReportRow{
+					Program:  p.Name,
+					Analysis: analysis,
+					Without:  metric.pick(without.Counts),
+					With:     metric.pick(with.Counts),
+				}
+				row.Difference = row.Without - row.With
+				if row.Without != 0 {
+					row.PercentRemoved = 100 * float64(row.Difference) / float64(row.Without)
+				}
+				fr.Rows = append(fr.Rows, row)
+			}
+		}
+		figs = append(figs, fr)
+	}
+	return figs
+}
+
+// Config returns the cell for (analysis, promote), if present.
+func (p *ProgramReport) Config(analysis string, promote bool) (*ConfigReport, bool) {
+	for i := range p.Configs {
+		c := &p.Configs[i]
+		if c.Analysis == analysis && c.Promote == promote {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Program returns the named program's report, if present.
+func (r *Report) Program(name string) (*ProgramReport, bool) {
+	for i := range r.Programs {
+		if r.Programs[i].Name == name {
+			return &r.Programs[i], true
+		}
+	}
+	return nil, false
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadReport reads one BENCH_*.json file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(r.Schema, "regpromo-bench/") {
+		return nil, fmt.Errorf("%s: unrecognized schema %q", path, r.Schema)
+	}
+	return &r, nil
+}
+
+// LatestBaseline loads the newest BENCH_*.json in dir (timestamped
+// names sort chronologically). It returns os.ErrNotExist when no
+// baseline has been recorded yet.
+func LatestBaseline(dir string) (*Report, string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, BaselineGlob))
+	if err != nil {
+		return nil, "", err
+	}
+	if len(matches) == 0 {
+		return nil, "", os.ErrNotExist
+	}
+	sort.Strings(matches)
+	path := matches[len(matches)-1]
+	r, err := LoadReport(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return r, path, nil
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"regpromo/internal/driver"
+)
+
+// TestCollectReport runs the observed matrix on a small subset and
+// checks the report carries everything the acceptance criteria name:
+// all four configurations per program, dynamic counts, per-pass wall
+// time, and IR-delta records.
+func TestCollectReport(t *testing.T) {
+	r, err := CollectReport(Options{Programs: []string{"tsp", "dhrystone"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != SchemaVersion {
+		t.Fatalf("schema = %q", r.Schema)
+	}
+	if len(r.Programs) != 2 {
+		t.Fatalf("got %d programs", len(r.Programs))
+	}
+	for _, p := range r.Programs {
+		if len(p.Configs) != 4 {
+			t.Fatalf("%s: got %d configs, want the paper's 4", p.Name, len(p.Configs))
+		}
+		if p.Lines <= 0 {
+			t.Fatalf("%s: missing line count", p.Name)
+		}
+		for _, c := range p.Configs {
+			if c.Counts.Ops <= 0 {
+				t.Fatalf("%s/%s: no dynamic counts", p.Name, c.Analysis)
+			}
+			if len(c.Passes) == 0 {
+				t.Fatalf("%s/%s: no per-pass records", p.Name, c.Analysis)
+			}
+			if c.CompileNS <= 0 {
+				t.Fatalf("%s/%s: no compile wall time", p.Name, c.Analysis)
+			}
+			names := map[string]bool{}
+			for _, e := range c.Passes {
+				names[e.Name] = true
+			}
+			if !names[driver.PassFrontend] || !names[driver.PassRegalloc] {
+				t.Fatalf("%s/%s: pass stream incomplete: %v", p.Name, c.Analysis, names)
+			}
+			if c.Promote != names[driver.PassPromote] {
+				t.Fatalf("%s/%s: promote pass presence disagrees with config", p.Name, c.Analysis)
+			}
+		}
+	}
+	// Figures: 4 figures × (2 programs × 2 analyses) rows, agreeing
+	// with an unobserved RunFigures over the same subset.
+	if len(r.Figures) != 4 {
+		t.Fatalf("got %d figures", len(r.Figures))
+	}
+	fr, err := RunFigures(Options{Programs: []string{"tsp", "dhrystone"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range r.Figures {
+		if len(fig.Rows) != 4 {
+			t.Fatalf("figure %d: got %d rows", fig.Figure, len(fig.Rows))
+		}
+	}
+	wantOps := fr.Rows[TotalOps]
+	gotOps := r.Figures[0].Rows
+	for i := range wantOps {
+		if gotOps[i].Program != wantOps[i].Program ||
+			gotOps[i].Without != wantOps[i].Without ||
+			gotOps[i].With != wantOps[i].With {
+			t.Fatalf("figure 5 row %d disagrees with RunFigures: %+v vs %+v",
+				i, gotOps[i], wantOps[i])
+		}
+	}
+}
+
+// TestReportJSONRoundTripAndBaseline writes a report to a BENCH_*.json
+// file, reloads it through the baseline loader, and checks nothing is
+// lost.
+func TestReportJSONRoundTripAndBaseline(t *testing.T) {
+	r, err := CollectReport(Options{Programs: []string{"tsp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Timestamp = "2026-08-06T00:00:00Z"
+
+	dir := t.TempDir()
+	if _, _, err := LatestBaseline(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty dir should report ErrNotExist, got %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Two baselines: the loader must pick the newer one.
+	old := filepath.Join(dir, "BENCH_20250101T000000.json")
+	if err := os.WriteFile(old, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	newer := filepath.Join(dir, "BENCH_20260806T120000.json")
+	if err := os.WriteFile(newer, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, path, err := LatestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != newer {
+		t.Fatalf("loaded %s, want %s", path, newer)
+	}
+	if !reflect.DeepEqual(back, r) {
+		t.Fatal("report does not round-trip through BENCH_*.json")
+	}
+	p, ok := back.Program("tsp")
+	if !ok {
+		t.Fatal("tsp missing after reload")
+	}
+	if c, ok := p.Config("modref", true); !ok || c.Counts.Ops <= 0 {
+		t.Fatal("config lookup broken after reload")
+	}
+}
+
+// TestLoadReportRejectsGarbage: schema and syntax failures are
+// reported, not silently accepted.
+func TestLoadReportRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "BENCH_bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(bad); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if err := os.WriteFile(bad, []byte(`{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(bad); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+	var r Report
+	data, _ := json.Marshal(map[string]string{"schema": SchemaVersion})
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,11 @@
 // basic-block cleaning → graph-coloring register allocation. The four
 // experimental configurations are the cross product of
 // {MOD/REF, points-to} × {promotion off, promotion on}.
+//
+// The pipeline is an explicit pass manager: each configuration expands
+// to a named pass list (see Config.Passes), and an optional
+// obs.Pipeline observer records per-pass wall time, static IR deltas,
+// and pass statistics for every stage it runs.
 package driver
 
 import (
@@ -19,6 +24,7 @@ import (
 	"regpromo/internal/cc/sema"
 	"regpromo/internal/interp"
 	"regpromo/internal/ir"
+	"regpromo/internal/obs"
 	"regpromo/internal/opt/clean"
 	"regpromo/internal/opt/constprop"
 	"regpromo/internal/opt/copyprop"
@@ -89,71 +95,193 @@ type Compilation struct {
 	Alloc   regalloc.Stats
 }
 
+// pass is one named stage of the pipeline. run returns the pass's
+// extra statistics for the observer (may be nil).
+type pass struct {
+	name string
+	run  func(s *pipeState) (map[string]int64, error)
+}
+
+// pipeState is the mutable state threaded through the pass list.
+type pipeState struct {
+	cfg Config
+	c   *Compilation
+	cg  *callgraph.Graph
+}
+
+// Canonical pass names, in the order the full pipeline runs them.
+// PassValnumLate is the post-PRE value-numbering rerun.
+const (
+	PassModRef     = "modref"
+	PassPointsTo   = "pointsto"
+	PassConstProp  = "constprop"
+	PassValnum     = "valnum"
+	PassLICM       = "licm"
+	PassPromote    = "promote"
+	PassDSE        = "dse"
+	PassPRE        = "pre"
+	PassValnumLate = "valnum.post"
+	PassCopyProp   = "copyprop"
+	PassDCE        = "dce"
+	PassClean      = "clean"
+	PassRegalloc   = "regalloc"
+	PassVerify     = "verify"
+)
+
+// passes expands the configuration into its pass list.
+func (cfg Config) passes() []pass {
+	var ps []pass
+	ps = append(ps, pass{PassModRef, func(s *pipeState) (map[string]int64, error) {
+		s.cg = callgraph.Build(s.c.Module)
+		modref.Run(s.c.Module, s.cg)
+		return nil, nil
+	}})
+	if cfg.Analysis == PointsTo {
+		ps = append(ps, pass{PassPointsTo, func(s *pipeState) (map[string]int64, error) {
+			m := s.c.Module
+			pointsto.Run(m, s.cg)
+			modref.RefineMemOps(m)
+			// Indirect-call targets may have been pinned; rebuild
+			// the call graph so the repeated MOD/REF run sees the
+			// refined edges (§4: "MOD/REF analysis is then
+			// repeated").
+			s.cg = callgraph.Build(m)
+			modref.Run(m, s.cg)
+			return nil, nil
+		}})
+	}
+	// The classical passes report how many rewrites they performed;
+	// surface that as the pass's "changed" statistic.
+	simple := func(name string, run func(*ir.Module) int) pass {
+		return pass{name, func(s *pipeState) (map[string]int64, error) {
+			n := run(s.c.Module)
+			return map[string]int64{"changed": int64(n)}, nil
+		}}
+	}
+	if !cfg.DisableOpt {
+		ps = append(ps,
+			simple(PassConstProp, constprop.Run),
+			simple(PassValnum, valnum.Run),
+			simple(PassLICM, licm.Run),
+		)
+	}
+	if cfg.Promote {
+		ps = append(ps, pass{PassPromote, func(s *pipeState) (map[string]int64, error) {
+			st := promote.Run(s.c.Module, promote.Options{
+				Pointer:             s.cfg.PointerPromote,
+				SkipUnwrittenStores: s.cfg.SkipUnwrittenStores,
+				PressureLimit:       s.cfg.Throttle,
+			})
+			s.c.Promote = st
+			return map[string]int64{
+				"scalar_promotions":  int64(st.ScalarPromotions),
+				"pointer_promotions": int64(st.PointerPromotions),
+				"refs_rewritten":     int64(st.RefsRewritten),
+				"loads_inserted":     int64(st.LoadsInserted),
+				"stores_inserted":    int64(st.StoresInserted),
+			}, nil
+		}})
+	}
+	if cfg.DSE {
+		ps = append(ps, simple(PassDSE, dse.Run))
+	}
+	if !cfg.DisableOpt {
+		ps = append(ps,
+			simple(PassPRE, pre.Run),
+			simple(PassValnumLate, valnum.Run),
+			simple(PassCopyProp, copyprop.Run),
+			simple(PassDCE, dce.Run),
+			simple(PassClean, clean.Run),
+		)
+	}
+	if !cfg.NoAlloc {
+		ps = append(ps, pass{PassRegalloc, func(s *pipeState) (map[string]int64, error) {
+			st, err := regalloc.Run(s.c.Module, regalloc.Options{K: s.cfg.K})
+			if err != nil {
+				return nil, err
+			}
+			s.c.Alloc = st
+			return map[string]int64{
+				"spilled":      int64(st.Spilled),
+				"spill_loads":  int64(st.SpillLoads),
+				"spill_stores": int64(st.SpillStores),
+				"coalesced":    int64(st.Coalesced),
+				"rounds":       int64(st.Rounds),
+			}, nil
+		}})
+	}
+	ps = append(ps, pass{PassVerify, func(s *pipeState) (map[string]int64, error) {
+		if err := ir.VerifyModule(s.c.Module); err != nil {
+			return nil, fmt.Errorf("pipeline produced invalid IL: %w", err)
+		}
+		return nil, nil
+	}})
+	return ps
+}
+
+// Passes returns the configuration's pass names in execution order
+// (the front end, which runs before the module exists, is reported by
+// the observer as "frontend" ahead of these).
+func (cfg Config) Passes() []string {
+	ps := cfg.passes()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.name
+	}
+	return names
+}
+
+// PassFrontend is the observer's name for the parse+sema+irgen stage.
+const PassFrontend = "frontend"
+
 // CompileSource runs the full pipeline over one C source file.
 func CompileSource(filename, src string, cfg Config) (*Compilation, error) {
-	file, err := parser.Parse(filename, src)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := sema.Check(file)
-	if err != nil {
-		return nil, err
-	}
-	m, err := irgen.Generate(prog)
-	if err != nil {
-		return nil, err
-	}
-	c := &Compilation{Module: m}
+	return Compile(filename, src, cfg, nil)
+}
 
-	// Interprocedural analysis.
-	cg := callgraph.Build(m)
-	modref.Run(m, cg)
-	if cfg.Analysis == PointsTo {
-		pointsto.Run(m, cg)
-		modref.RefineMemOps(m)
-		// Indirect-call targets may have been pinned; rebuild the
-		// call graph so the repeated MOD/REF run sees the refined
-		// edges (§4: "MOD/REF analysis is then repeated").
-		cg = callgraph.Build(m)
-		modref.Run(m, cg)
-	}
-
-	if !cfg.DisableOpt {
-		constprop.Run(m)
-		valnum.Run(m)
-		licm.Run(m)
-	}
-
-	if cfg.Promote {
-		c.Promote = promote.Run(m, promote.Options{
-			Pointer:             cfg.PointerPromote,
-			SkipUnwrittenStores: cfg.SkipUnwrittenStores,
-			PressureLimit:       cfg.Throttle,
-		})
-	}
-
-	if cfg.DSE {
-		dse.Run(m)
-	}
-
-	if !cfg.DisableOpt {
-		pre.Run(m)
-		valnum.Run(m)
-		copyprop.Run(m)
-		dce.Run(m)
-		clean.Run(m)
-	}
-
-	if !cfg.NoAlloc {
-		st, err := regalloc.Run(m, regalloc.Options{K: cfg.K})
+// Compile runs the full pipeline under an observer. pipe may be nil,
+// in which case no telemetry is recorded (identical to CompileSource).
+// Every pass — including the front end, reported as "frontend" — is
+// timed and bracketed with static IR snapshots on the observer.
+func Compile(filename, src string, cfg Config, pipe *obs.Pipeline) (*Compilation, error) {
+	c := &Compilation{}
+	err := pipe.Observe(PassFrontend, nil, func() (map[string]int64, error) {
+		file, err := parser.Parse(filename, src)
 		if err != nil {
 			return nil, err
 		}
-		c.Alloc = st
+		prog, err := sema.Check(file)
+		if err != nil {
+			return nil, err
+		}
+		m, err := irgen.Generate(prog)
+		if err != nil {
+			return nil, err
+		}
+		c.Module = m
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The frontend event's snapshots were both taken against a nil
+	// module; patch the after-side so the trajectory starts at the
+	// generated IL rather than zero.
+	if ev := pipe.Event(PassFrontend); ev != nil {
+		ev.After = obs.Measure(c.Module)
+		if pipe.DumpPass == obs.DumpAll || pipe.DumpPass == PassFrontend {
+			ev.IRDump = ir.FormatModule(c.Module)
+		}
 	}
 
-	if err := ir.VerifyModule(m); err != nil {
-		return nil, fmt.Errorf("pipeline produced invalid IL: %w", err)
+	s := &pipeState{cfg: cfg, c: c}
+	for _, p := range cfg.passes() {
+		run := p.run
+		if err := pipe.Observe(p.name, c.Module, func() (map[string]int64, error) {
+			return run(s)
+		}); err != nil {
+			return nil, err
+		}
 	}
 	return c, nil
 }

@@ -1,0 +1,154 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"regpromo/internal/obs"
+)
+
+const passTestSrc = `
+int total;
+int hits;
+void record(int v) { hits += v; }
+int main(void) {
+	int i;
+	for (i = 0; i < 100; i++) {
+		total += i;
+		if (i % 10 == 0) record(i);
+	}
+	print_int(total);
+	print_int(hits);
+	return 0;
+}`
+
+// TestEveryPassFiresOncePerConfig compiles under each paper
+// configuration with an observer attached and checks the recorded
+// event stream is exactly the configuration's pass list (front end
+// first), with no pass repeated or skipped.
+func TestEveryPassFiresOncePerConfig(t *testing.T) {
+	for _, cfg := range Configurations() {
+		pipe := &obs.Pipeline{}
+		if _, err := Compile("t.c", passTestSrc, cfg, pipe); err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		want := append([]string{PassFrontend}, cfg.Passes()...)
+		got := pipe.PassNames()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%+v: pass stream = %v, want %v", cfg, got, want)
+		}
+		seen := map[string]int{}
+		for _, n := range got {
+			seen[n]++
+		}
+		for n, c := range seen {
+			if c != 1 {
+				t.Errorf("%+v: pass %s fired %d times", cfg, n, c)
+			}
+		}
+		for i, e := range pipe.Events {
+			if e.Index != i {
+				t.Errorf("%+v: event %s has index %d, want %d", cfg, e.Name, e.Index, i)
+			}
+		}
+	}
+}
+
+// TestPassDeltasChain checks internal consistency of the recorded IR
+// snapshots: pass N's after-state is pass N+1's before-state, and the
+// final state matches a fresh measurement of the compiled module.
+func TestPassDeltasChain(t *testing.T) {
+	for _, cfg := range Configurations() {
+		pipe := &obs.Pipeline{}
+		c, err := Compile("t.c", passTestSrc, cfg, pipe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := pipe.Events
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Before != evs[i-1].After {
+				t.Errorf("%+v: %s.Before = %+v, want previous pass %s.After = %+v",
+					cfg, evs[i].Name, evs[i].Before, evs[i-1].Name, evs[i-1].After)
+			}
+		}
+		final := evs[len(evs)-1].After
+		if got := obs.Measure(c.Module); got != final {
+			t.Errorf("%+v: final snapshot %+v != measured module %+v", cfg, final, got)
+		}
+	}
+}
+
+// TestPromotionPassVisibleInTrace is the acceptance check: with
+// promotion on, the promote pass's delta must show a nonzero
+// reduction in in-loop tagged (scalar) loads and stores — the lifted
+// load/store pair keeps module totals flat, but the loop census must
+// drop — and its extra stats must carry the promotion counters.
+func TestPromotionPassVisibleInTrace(t *testing.T) {
+	pipe := &obs.Pipeline{}
+	if _, err := Compile("t.c", passTestSrc, modRefPromote(), pipe); err != nil {
+		t.Fatal(err)
+	}
+	ev := pipe.Event(PassPromote)
+	if ev == nil {
+		t.Fatal("no promote event recorded")
+	}
+	d := ev.Delta()
+	if d.Loop.ScalarLoads >= 0 || d.Loop.ScalarStores >= 0 {
+		t.Fatalf("promotion should reduce in-loop tagged loads and stores, delta = %+v", d.Loop)
+	}
+	if ev.Extra["scalar_promotions"] <= 0 {
+		t.Fatalf("promote extras missing scalar_promotions: %v", ev.Extra)
+	}
+}
+
+// TestObservedCompileMatchesUnobserved: attaching the observer must
+// not change what the compiler produces.
+func TestObservedCompileMatchesUnobserved(t *testing.T) {
+	for _, cfg := range Configurations() {
+		plain, err := CompileSource("t.c", passTestSrc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		observed, err := Compile("t.c", passTestSrc, cfg, &obs.Pipeline{DumpPass: obs.DumpAll})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Measure(plain.Module) != obs.Measure(observed.Module) {
+			t.Fatalf("%+v: observer changed compilation", cfg)
+		}
+		if plain.Promote != observed.Promote || plain.Alloc != observed.Alloc {
+			t.Fatalf("%+v: observer changed statistics", cfg)
+		}
+	}
+}
+
+// TestDriverEventsRoundTripJSON serializes a real compilation's event
+// stream and checks it survives a JSON round trip intact.
+func TestDriverEventsRoundTripJSON(t *testing.T) {
+	pipe := &obs.Pipeline{DumpPass: PassPromote}
+	if _, err := Compile("t.c", passTestSrc, modRefPromote(), pipe); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pipe.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []*obs.PassEvent
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, pipe.Events) {
+		t.Fatal("driver event stream does not round-trip through JSON")
+	}
+	if pipe.Event(PassPromote).IRDump == "" {
+		t.Fatal("requested promote IR dump missing")
+	}
+}
+
+// modRefPromote is the paper's principal configuration, shared by the
+// observability tests.
+func modRefPromote() Config {
+	return Config{Analysis: ModRef, Promote: true}
+}

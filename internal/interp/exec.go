@@ -55,6 +55,9 @@ func (m *machine) call(fn *ir.Func, args []int64) (int64, error) {
 // function result.
 func (m *machine) execBlock(f *frame, b *ir.Block) (next *ir.Block, ret int64, done bool, err error) {
 	regs := f.regs
+	if m.prof != nil {
+		m.prof.hitBlock(f.fn, b)
+	}
 	for i := range b.Instrs {
 		in := &b.Instrs[i]
 		m.steps++
@@ -150,6 +153,9 @@ func (m *machine) execBlock(f *frame, b *ir.Block) (next *ir.Block, ret int64, d
 
 		case ir.OpCLoad, ir.OpSLoad:
 			m.counts.Loads++
+			if m.prof != nil {
+				m.prof.load(in.Tag)
+			}
 			addr, err := m.tagAddr(f, in.Tag)
 			if err != nil {
 				return nil, 0, false, err
@@ -161,6 +167,9 @@ func (m *machine) execBlock(f *frame, b *ir.Block) (next *ir.Block, ret int64, d
 			regs[in.Dst] = v
 		case ir.OpSStore:
 			m.counts.Stores++
+			if m.prof != nil {
+				m.prof.store(in.Tag)
+			}
 			addr, err := m.tagAddr(f, in.Tag)
 			if err != nil {
 				return nil, 0, false, err
@@ -174,6 +183,9 @@ func (m *machine) execBlock(f *frame, b *ir.Block) (next *ir.Block, ret int64, d
 			if m.opts.Trace != nil {
 				m.opts.Trace(f.fn.Name, in, addr, m.ownerOf(addr))
 			}
+			if m.prof != nil {
+				m.prof.load(m.ownerOf(addr))
+			}
 			v, err := m.loadMem(f, addr, in.Size)
 			if err != nil {
 				return nil, 0, false, err
@@ -184,6 +196,9 @@ func (m *machine) execBlock(f *frame, b *ir.Block) (next *ir.Block, ret int64, d
 			addr := regs[in.A]
 			if m.opts.Trace != nil {
 				m.opts.Trace(f.fn.Name, in, addr, m.ownerOf(addr))
+			}
+			if m.prof != nil {
+				m.prof.store(m.ownerOf(addr))
 			}
 			if err := m.storeMem(f, addr, in.Size, regs[in.B]); err != nil {
 				return nil, 0, false, err

@@ -34,15 +34,15 @@ const (
 // Counts are the dynamic instruction counters of one execution.
 type Counts struct {
 	// Ops is the total number of IL operations executed.
-	Ops int64
+	Ops int64 `json:"ops"`
 	// Loads counts executed memory loads (sLoad, cLoad, pLoad).
-	Loads int64
+	Loads int64 `json:"loads"`
 	// Stores counts executed memory stores (sStore, pStore).
-	Stores int64
+	Stores int64 `json:"stores"`
 	// Copies counts executed register copies.
-	Copies int64
+	Copies int64 `json:"copies"`
 	// Calls counts executed jsr operations.
-	Calls int64
+	Calls int64 `json:"calls"`
 }
 
 // Options configure an execution.
@@ -53,6 +53,12 @@ type Options struct {
 	// memory access with the instruction, the resolved address, and
 	// the tag owning that address (TagInvalid when unknown).
 	Trace func(fn string, in *ir.Instr, addr int64, owner ir.TagID)
+	// Profile enables hot-spot profiling: per-basic-block execution
+	// counts and per-tag dynamic load/store counters, reported in
+	// Result.Profile. Pointer accesses are attributed to the tag
+	// owning the resolved address, which costs an ownership lookup
+	// per access — leave this off for plain measurements.
+	Profile bool
 }
 
 // Result is the outcome of an execution.
@@ -62,6 +68,9 @@ type Result struct {
 	Exit int64
 	// Output is everything the program printed.
 	Output string
+	// Profile is the execution profile when Options.Profile was set,
+	// nil otherwise.
+	Profile *Profile
 }
 
 // Error is a runtime fault with function context.
@@ -96,6 +105,10 @@ type machine struct {
 	steps  int64
 	max    int64
 	out    strings.Builder
+
+	// prof records hot-spot data when profiling is enabled; nil
+	// otherwise.
+	prof *profiler
 
 	frames []*frame
 }
@@ -138,13 +151,20 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 	if m.max == 0 {
 		m.max = 1 << 31
 	}
+	if opts.Profile {
+		m.prof = newProfiler(mod)
+	}
 	m.layoutGlobals()
 
 	exit, err := m.call(mainFn, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Counts: m.counts, Exit: exit, Output: m.out.String()}, nil
+	res := &Result{Counts: m.counts, Exit: exit, Output: m.out.String()}
+	if m.prof != nil {
+		res.Profile = m.prof.result(mod)
+	}
+	return res, nil
 }
 
 func (m *machine) layoutGlobals() {

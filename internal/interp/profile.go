@@ -1,0 +1,159 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"regpromo/internal/ir"
+)
+
+// Profile is the interpreter's opt-in execution profile: per-basic-
+// block execution counts (the hot spots) and per-tag dynamic load and
+// store counters (which memory locations the program actually
+// hammers). Together they point at exactly which loops and which tags
+// promotion did or did not rescue — the diagnostic the paper performs
+// by hand in §5.
+type Profile struct {
+	// Blocks lists basic-block execution counts, hottest first.
+	Blocks []BlockCount `json:"blocks"`
+	// Tags lists per-tag dynamic memory traffic, busiest first.
+	// Pointer accesses that resolve to no tagged storage are
+	// aggregated under the pseudo-tag "(untagged)".
+	Tags []TagCount `json:"tags"`
+}
+
+// BlockCount is one basic block's dynamic execution count.
+type BlockCount struct {
+	Func  string `json:"func"`
+	Block string `json:"block"`
+	Count int64  `json:"count"`
+}
+
+// TagCount is one tag's dynamic load/store traffic.
+type TagCount struct {
+	Tag    string `json:"tag"`
+	Kind   string `json:"kind"`
+	Loads  int64  `json:"loads"`
+	Stores int64  `json:"stores"`
+}
+
+// untaggedName labels pointer traffic whose address resolves to no
+// known tag (e.g. interior pointers past a frame's layout).
+const untaggedName = "(untagged)"
+
+// profiler is the machine's recording state; nil when profiling is
+// off, so the hot loop pays one pointer test.
+type profiler struct {
+	blocks map[blockKey]int64
+	loads  []int64 // indexed by TagID
+	stores []int64
+	// untaggedLoads/Stores tally pointer accesses ownerOf could not
+	// attribute.
+	untaggedLoads  int64
+	untaggedStores int64
+}
+
+type blockKey struct {
+	fn    string
+	block string
+}
+
+func newProfiler(mod *ir.Module) *profiler {
+	return &profiler{
+		blocks: make(map[blockKey]int64),
+		loads:  make([]int64, mod.Tags.Len()),
+		stores: make([]int64, mod.Tags.Len()),
+	}
+}
+
+func (p *profiler) hitBlock(fn *ir.Func, b *ir.Block) {
+	p.blocks[blockKey{fn.Name, b.Label}]++
+}
+
+func (p *profiler) load(tag ir.TagID) {
+	if tag == ir.TagInvalid || int(tag) >= len(p.loads) {
+		p.untaggedLoads++
+		return
+	}
+	p.loads[tag]++
+}
+
+func (p *profiler) store(tag ir.TagID) {
+	if tag == ir.TagInvalid || int(tag) >= len(p.stores) {
+		p.untaggedStores++
+		return
+	}
+	p.stores[tag]++
+}
+
+// result assembles the deterministic, sorted profile.
+func (p *profiler) result(mod *ir.Module) *Profile {
+	out := &Profile{}
+	for k, c := range p.blocks {
+		out.Blocks = append(out.Blocks, BlockCount{Func: k.fn, Block: k.block, Count: c})
+	}
+	sort.Slice(out.Blocks, func(i, j int) bool {
+		a, b := out.Blocks[i], out.Blocks[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Block < b.Block
+	})
+	for id := 0; id < mod.Tags.Len(); id++ {
+		if p.loads[id] == 0 && p.stores[id] == 0 {
+			continue
+		}
+		tag := mod.Tags.Get(ir.TagID(id))
+		out.Tags = append(out.Tags, TagCount{
+			Tag:    tag.Name,
+			Kind:   tag.Kind.String(),
+			Loads:  p.loads[id],
+			Stores: p.stores[id],
+		})
+	}
+	if p.untaggedLoads > 0 || p.untaggedStores > 0 {
+		out.Tags = append(out.Tags, TagCount{
+			Tag:    untaggedName,
+			Kind:   "unknown",
+			Loads:  p.untaggedLoads,
+			Stores: p.untaggedStores,
+		})
+	}
+	sort.SliceStable(out.Tags, func(i, j int) bool {
+		a, b := out.Tags[i], out.Tags[j]
+		if a.Loads+a.Stores != b.Loads+b.Stores {
+			return a.Loads+a.Stores > b.Loads+b.Stores
+		}
+		return a.Tag < b.Tag
+	})
+	return out
+}
+
+// Format renders the profile: the topN hottest blocks and every tag
+// with memory traffic.
+func (p *Profile) Format(topN int) string {
+	var sb strings.Builder
+	blocks := p.Blocks
+	if topN > 0 && len(blocks) > topN {
+		blocks = blocks[:topN]
+	}
+	fmt.Fprintf(&sb, "hot blocks (top %d of %d):\n", len(blocks), len(p.Blocks))
+	fmt.Fprintf(&sb, "%-20s %-10s %12s\n", "func", "block", "executions")
+	for _, b := range blocks {
+		fmt.Fprintf(&sb, "%-20s %-10s %12d\n", b.Func, b.Block, b.Count)
+	}
+	tags := p.Tags
+	if topN > 0 && len(tags) > topN {
+		tags = tags[:topN]
+	}
+	fmt.Fprintf(&sb, "memory traffic by tag (top %d of %d):\n", len(tags), len(p.Tags))
+	fmt.Fprintf(&sb, "%-20s %-8s %12s %12s\n", "tag", "kind", "loads", "stores")
+	for _, tc := range tags {
+		fmt.Fprintf(&sb, "%-20s %-8s %12d %12d\n", tc.Tag, tc.Kind, tc.Loads, tc.Stores)
+	}
+	return sb.String()
+}

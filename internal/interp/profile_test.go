@@ -1,0 +1,204 @@
+package interp_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"regpromo/internal/driver"
+	"regpromo/internal/interp"
+)
+
+// compileRun compiles src under the paper's baseline configuration
+// (no promotion, so scalar traffic stays visible) and executes it
+// with profiling enabled.
+func compileRun(t *testing.T, src string, cfg driver.Config) *interp.Result {
+	t.Helper()
+	c, err := driver.CompileSource("prof.c", src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(interp.Options{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestProfileHotBlocksAndTags(t *testing.T) {
+	src := `
+int counter;
+int spare;
+int main(void) {
+	int i;
+	spare = 5;
+	for (i = 0; i < 1000; i++) counter += i;
+	print_int(counter);
+	print_int(spare);
+	return 0;
+}`
+	res := compileRun(t, src, driver.Config{Analysis: driver.ModRef})
+	if res.Profile == nil {
+		t.Fatal("Profile requested but not returned")
+	}
+
+	// The loop body must dominate the block profile: the hottest
+	// block runs ~1000 times, everything outside the loop once.
+	hot := res.Profile.Blocks[0]
+	if hot.Func != "main" || hot.Count < 1000 {
+		t.Fatalf("hottest block = %+v, want a main loop block with >= 1000 executions", hot)
+	}
+	for i := 1; i < len(res.Profile.Blocks); i++ {
+		if res.Profile.Blocks[i].Count > hot.Count {
+			t.Fatal("blocks not sorted hottest-first")
+		}
+	}
+
+	// Tag traffic: counter is loaded and stored ~1000 times, spare
+	// exactly once. The per-tag sums must bucket the global counters
+	// exactly.
+	var counterSeen, spareSeen bool
+	var loads, stores int64
+	for _, tc := range res.Profile.Tags {
+		loads += tc.Loads
+		stores += tc.Stores
+		switch tc.Tag {
+		case "counter":
+			counterSeen = true
+			if tc.Kind != "global" || tc.Stores < 1000 {
+				t.Fatalf("counter tag = %+v, want ~1000 global stores", tc)
+			}
+		case "spare":
+			spareSeen = true
+			if tc.Stores != 1 {
+				t.Fatalf("spare tag = %+v, want exactly 1 store", tc)
+			}
+		}
+	}
+	if !counterSeen || !spareSeen {
+		t.Fatalf("missing tags in profile: %+v", res.Profile.Tags)
+	}
+	if loads != res.Counts.Loads || stores != res.Counts.Stores {
+		t.Fatalf("per-tag sums (loads=%d stores=%d) disagree with counts %+v",
+			loads, stores, res.Counts)
+	}
+}
+
+// TestProfileShowsPromotionRescue is the paper's §5 diagnostic made
+// mechanical: promotion must visibly drain a promoted tag's dynamic
+// traffic between the without/with profiles.
+func TestProfileShowsPromotionRescue(t *testing.T) {
+	src := `
+int acc;
+int main(void) {
+	int i;
+	for (i = 0; i < 500; i++) acc += i;
+	print_int(acc);
+	return 0;
+}`
+	traffic := func(res *interp.Result, tag string) int64 {
+		for _, tc := range res.Profile.Tags {
+			if tc.Tag == tag {
+				return tc.Loads + tc.Stores
+			}
+		}
+		return 0
+	}
+	without := compileRun(t, src, driver.Config{Analysis: driver.ModRef})
+	with := compileRun(t, src, driver.Config{Analysis: driver.ModRef, Promote: true})
+	w, p := traffic(without, "acc"), traffic(with, "acc")
+	if w < 500 {
+		t.Fatalf("unpromoted acc traffic = %d, want >= 500", w)
+	}
+	if p >= w/100 {
+		t.Fatalf("promotion should collapse acc traffic: %d -> %d", w, p)
+	}
+}
+
+// TestProfileHeapAndPointerTraffic: pointer accesses are attributed
+// to the owning allocation-site tag.
+func TestProfileHeapAndPointerTraffic(t *testing.T) {
+	src := `
+struct node { int val; struct node *next; };
+int total;
+int main(void) {
+	struct node *head;
+	struct node *p;
+	int i;
+	head = 0;
+	for (i = 0; i < 30; i++) {
+		p = (struct node *) malloc(sizeof(struct node));
+		p->val = i;
+		p->next = head;
+		head = p;
+	}
+	for (p = head; p != 0; p = p->next) total += p->val;
+	print_int(total);
+	return 0;
+}`
+	res := compileRun(t, src, driver.Config{Analysis: driver.PointsTo, Promote: true})
+	var heap *interp.TagCount
+	for i, tc := range res.Profile.Tags {
+		if tc.Kind == "heap" {
+			heap = &res.Profile.Tags[i]
+		}
+	}
+	if heap == nil {
+		t.Fatalf("no heap tag in profile: %+v", res.Profile.Tags)
+	}
+	if heap.Stores < 60 || heap.Loads < 60 {
+		t.Fatalf("heap site should see 30 nodes × 2 fields of traffic each way, got %+v", heap)
+	}
+}
+
+// TestProfileDeterministicAndJSON: two identical runs produce the
+// same profile, and it survives a JSON round trip.
+func TestProfileDeterministicAndJSON(t *testing.T) {
+	src := `
+int g;
+int main(void) {
+	int i;
+	for (i = 0; i < 50; i++) g ^= i;
+	print_int(g);
+	return 0;
+}`
+	a := compileRun(t, src, driver.Config{Analysis: driver.ModRef})
+	b := compileRun(t, src, driver.Config{Analysis: driver.ModRef})
+	if !reflect.DeepEqual(a.Profile, b.Profile) {
+		t.Fatal("profile is nondeterministic across identical runs")
+	}
+	data, err := json.Marshal(a.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back interp.Profile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, a.Profile) {
+		t.Fatal("profile does not round-trip through JSON")
+	}
+	text := a.Profile.Format(5)
+	for _, want := range []string{"hot blocks", "main", "memory traffic", "g"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted profile missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestProfileOffByDefault: no profile is collected unless requested.
+func TestProfileOffByDefault(t *testing.T) {
+	c, err := driver.CompileSource("p.c", "int main(void) { print_int(1); return 0; }",
+		driver.Config{Analysis: driver.ModRef})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil {
+		t.Fatal("profile collected without Options.Profile")
+	}
+}
