@@ -4,8 +4,15 @@
 // Usage:
 //
 //	rpbench -list            print the Figure 4 program table
-//	rpbench                  print Figures 5, 6 and 7
-//	rpbench -figure 6        print one figure (5=ops, 6=stores, 7=loads)
+//	rpbench                  print Figures 5, 6, and 7, plus Figure 8
+//	                         (this reproduction's weighted-cycles
+//	                         extension)
+//	rpbench -figure 6        print one figure (5=ops, 6=stores,
+//	                         7=loads, 8=weighted cycles)
+//	rpbench -parallel N      measure up to N programs concurrently
+//	                         (0 = one per CPU); results are assembled
+//	                         in suite order, so the tables are
+//	                         identical to a serial run's
 //	rpbench -pointerpromo    rerun the matrix with §3.3 pointer-based
 //	                         promotion enabled and report the delta it
 //	                         adds over scalar promotion (§3.3 study)
@@ -39,6 +46,7 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit Markdown tables")
 	jsonOut := flag.Bool("json", false, "write the observed benchmark report as BENCH_<timestamp>.json")
 	out := flag.String("out", "", "output path for -json (default BENCH_<timestamp>.json, \"-\" = stdout)")
+	parallel := flag.Int("parallel", 1, "programs measured concurrently (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -46,7 +54,10 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{K: *k}
+	opts := bench.Options{K: *k, Parallel: *parallel}
+	if *parallel == 0 {
+		opts.Parallel = bench.DefaultWorkers()
+	}
 	if *programs != "" {
 		opts.Programs = strings.Split(*programs, ",")
 	}
@@ -73,8 +84,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rpbench:", err)
 		os.Exit(1)
 	}
-	// Figures 5-7 are the paper's; "figure 8" is this reproduction's
-	// weighted-cycles extension (§5's latency remark, quantified).
+	// Figures 5, 6, and 7 are the paper's; Figure 8 is this
+	// reproduction's weighted-cycles extension (§5's latency remark,
+	// quantified).
 	metrics := map[int]bench.Metric{5: bench.TotalOps, 6: bench.Stores, 7: bench.Loads, 8: bench.WeightedCycles}
 	if *figure != 0 {
 		m, ok := metrics[*figure]
@@ -119,7 +131,8 @@ func runJSON(opts bench.Options, out string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d programs, schema %s)\n", out, len(r.Programs), r.Schema)
+	fmt.Printf("wrote %s (%d programs, Figures 5, 6, and 7 plus the Figure 8 extension, schema %s)\n",
+		out, len(r.Programs), r.Schema)
 	return nil
 }
 

@@ -188,6 +188,39 @@ type Options struct {
 	Programs []string
 	// K overrides the register supply (0 = default).
 	K int
+	// Parallel bounds how many programs are measured concurrently:
+	// 1 (or less) measures serially, 0 is treated as 1, and larger
+	// values fan the suite out over a worker pool. Results are
+	// assembled in suite order either way, so the tables and reports
+	// a parallel run produces are identical to a serial run's.
+	Parallel int
+}
+
+// workers normalizes Options.Parallel for ParallelMap: the harness
+// keeps "unset" meaning serial so existing callers measure exactly as
+// before.
+func (o Options) workers() int {
+	if o.Parallel <= 1 {
+		return 1
+	}
+	return o.Parallel
+}
+
+// selected returns the suite members the options ask for, in suite
+// order.
+func (o Options) selected() []Program {
+	want := map[string]bool{}
+	for _, n := range o.Programs {
+		want[n] = true
+	}
+	var ps []Program
+	for _, p := range Suite() {
+		if len(want) > 0 && !want[p.Name] {
+			continue
+		}
+		ps = append(ps, p)
+	}
+	return ps
 }
 
 // FigureResult holds every row of one figure for all three metrics
@@ -199,58 +232,88 @@ type FigureResult struct {
 	Spills     map[string]int
 }
 
+// programFigures is one program's slice of the measurement matrix.
+type programFigures struct {
+	rows       map[Metric][]Row
+	promotions map[string]int
+	spills     map[string]int
+}
+
+// measureProgram runs one suite member under the four-configuration
+// matrix and cross-checks the outputs: a configuration that changes a
+// program's observable output indicates a miscompilation and fails
+// the measurement.
+func measureProgram(p Program, opts Options) (*programFigures, error) {
+	pf := &programFigures{
+		rows:       map[Metric][]Row{},
+		promotions: map[string]int{},
+		spills:     map[string]int{},
+	}
+	var outputs []string
+	for _, analysis := range []driver.Analysis{driver.ModRef, driver.PointsTo} {
+		base := driver.Config{Analysis: analysis, K: opts.K}
+		with := base
+		with.Promote = true
+		with.PointerPromote = opts.PointerPromotion
+
+		m0, err := Measure(p, base)
+		if err != nil {
+			return nil, err
+		}
+		m1, err := Measure(p, with)
+		if err != nil {
+			return nil, err
+		}
+		outputs = append(outputs, m0.Output, m1.Output)
+		key := p.Name + "/" + analysis.String()
+		pf.promotions[key] = m1.Promote
+		pf.spills[key] = m1.Spilled
+		for _, metric := range []Metric{TotalOps, Stores, Loads, WeightedCycles} {
+			pf.rows[metric] = append(pf.rows[metric], Row{
+				Program:  p.Name,
+				Analysis: analysis.String(),
+				Without:  metric.pick(m0.Counts),
+				With:     metric.pick(m1.Counts),
+			})
+		}
+	}
+	for _, o := range outputs[1:] {
+		if o != outputs[0] {
+			return nil, fmt.Errorf("%s: configurations disagree on program output", p.Name)
+		}
+	}
+	return pf, nil
+}
+
 // RunFigures executes the full measurement matrix: each program is
 // compiled and run four times ({modref, pointer} × {without, with
-// promotion}), and rows for Figures 5, 6, and 7 are assembled from
-// the same runs. Outputs are cross-checked: a configuration that
-// changes a program's observable output indicates a miscompilation
-// and fails the run.
+// promotion}), and rows for Figures 5, 6, and 7 (plus the Figure 8
+// weighted-cycles extension) are assembled from the same runs.
+// Options.Parallel spreads the programs over a worker pool; rows are
+// merged back in suite order, so parallel and serial runs produce
+// identical results.
 func RunFigures(opts Options) (*FigureResult, error) {
+	programs := opts.selected()
+	parts, err := ParallelMap(len(programs), opts.workers(), func(i int) (*programFigures, error) {
+		return measureProgram(programs[i], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
 	fr := &FigureResult{
 		Rows:       map[Metric][]Row{},
 		Promotions: map[string]int{},
 		Spills:     map[string]int{},
 	}
-	want := map[string]bool{}
-	for _, n := range opts.Programs {
-		want[n] = true
-	}
-	for _, p := range Suite() {
-		if len(want) > 0 && !want[p.Name] {
-			continue
+	for _, pf := range parts {
+		for metric, rows := range pf.rows {
+			fr.Rows[metric] = append(fr.Rows[metric], rows...)
 		}
-		var outputs []string
-		for _, analysis := range []driver.Analysis{driver.ModRef, driver.PointsTo} {
-			base := driver.Config{Analysis: analysis, K: opts.K}
-			with := base
-			with.Promote = true
-			with.PointerPromote = opts.PointerPromotion
-
-			m0, err := Measure(p, base)
-			if err != nil {
-				return nil, err
-			}
-			m1, err := Measure(p, with)
-			if err != nil {
-				return nil, err
-			}
-			outputs = append(outputs, m0.Output, m1.Output)
-			key := p.Name + "/" + analysis.String()
-			fr.Promotions[key] = m1.Promote
-			fr.Spills[key] = m1.Spilled
-			for _, metric := range []Metric{TotalOps, Stores, Loads, WeightedCycles} {
-				fr.Rows[metric] = append(fr.Rows[metric], Row{
-					Program:  p.Name,
-					Analysis: analysis.String(),
-					Without:  metric.pick(m0.Counts),
-					With:     metric.pick(m1.Counts),
-				})
-			}
+		for k, v := range pf.promotions {
+			fr.Promotions[k] = v
 		}
-		for _, o := range outputs[1:] {
-			if o != outputs[0] {
-				return nil, fmt.Errorf("%s: configurations disagree on program output", p.Name)
-			}
+		for k, v := range pf.spills {
+			fr.Spills[k] = v
 		}
 	}
 	return fr, nil

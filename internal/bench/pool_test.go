@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestParallelMapOrdersResults(t *testing.T) {
+	n := 200
+	got, err := ParallelMap(n, 8, func(i int) (int, error) {
+		// Uneven work so completion order scrambles.
+		v := 0
+		for j := 0; j < (i%7)*1000; j++ {
+			v += j
+		}
+		_ = v
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParallelMapEmptyAndSerial(t *testing.T) {
+	if got, err := ParallelMap(0, 4, func(int) (int, error) { return 0, nil }); err != nil || got != nil {
+		t.Fatalf("empty map: got %v, %v", got, err)
+	}
+	got, err := ParallelMap(3, 1, func(i int) (string, error) { return fmt.Sprint(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"0", "1", "2"}) {
+		t.Fatalf("serial map: got %v", got)
+	}
+}
+
+func TestParallelMapPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := ParallelMap(50, workers, func(i int) (int, error) {
+			if i == 17 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v, want boom", workers, err)
+		}
+	}
+}
+
+// poolPrograms is a small, cheap subset used by the determinism tests.
+var poolPrograms = []string{"allroots", "dhrystone", "tsp"}
+
+// TestRunFiguresParallelDeterminism: the parallel measurement matrix
+// must render byte-identical tables to the serial one.
+func TestRunFiguresParallelDeterminism(t *testing.T) {
+	serial, err := RunFigures(Options{Programs: poolPrograms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunFigures(Options{Programs: poolPrograms, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Metric{TotalOps, Stores, Loads, WeightedCycles} {
+		s, p := FormatTable(m, serial.Rows[m]), FormatTable(m, par.Rows[m])
+		if s != p {
+			t.Errorf("%s: parallel table differs from serial\nserial:\n%s\nparallel:\n%s", m, s, p)
+		}
+	}
+	if !reflect.DeepEqual(serial.Promotions, par.Promotions) || !reflect.DeepEqual(serial.Spills, par.Spills) {
+		t.Error("diagnostic maps differ between serial and parallel runs")
+	}
+}
+
+// TestCollectReportParallelDeterminism: with wall-clock fields
+// stripped, the JSON report must be byte-identical however the
+// programs were scheduled.
+func TestCollectReportParallelDeterminism(t *testing.T) {
+	render := func(parallel int) []byte {
+		r, err := CollectReport(Options{Programs: poolPrograms, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.StripTimings()
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if s, p := render(1), render(4); !bytes.Equal(s, p) {
+		t.Error("stripped parallel report differs from serial report")
+	}
+}

@@ -48,8 +48,8 @@ type ConfigReport struct {
 	// "with promotion" column.
 	Analysis string `json:"analysis"`
 	Promote  bool   `json:"promote"`
-	// Counts are the dynamic execution counters (Figures 5–7 feed
-	// off these).
+	// Counts are the dynamic execution counters (Figures 5, 6, and 7
+	// feed off these).
 	Counts interp.Counts `json:"counts"`
 	// Promotions and Spilled are the compile-side diagnostics.
 	Promotions int `json:"promotions"`
@@ -84,58 +84,64 @@ var figureNumbers = map[Metric]int{TotalOps: 5, Stores: 6, Loads: 7, WeightedCyc
 // CollectReport runs the full observed measurement matrix: every
 // selected program is compiled with pass-manager telemetry and
 // executed under all four paper configurations. Outputs are
-// cross-checked across configurations, as in RunFigures.
+// cross-checked across configurations, as in RunFigures, and
+// Options.Parallel fans the programs out the same way; everything in
+// the report except wall-clock pass timings is identical between
+// serial and parallel runs.
 func CollectReport(opts Options) (*Report, error) {
-	r := &Report{Schema: SchemaVersion, MemLatency: MemLatency}
-	want := map[string]bool{}
-	for _, n := range opts.Programs {
-		want[n] = true
+	programs := opts.selected()
+	reports, err := ParallelMap(len(programs), opts.workers(), func(i int) (ProgramReport, error) {
+		return collectProgram(programs[i], opts)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, p := range Suite() {
-		if len(want) > 0 && !want[p.Name] {
-			continue
-		}
-		pr := ProgramReport{Name: p.Name, Lines: Lines(p)}
-		var outputs []string
-		for _, analysis := range []driver.Analysis{driver.ModRef, driver.PointsTo} {
-			for _, promote := range []bool{false, true} {
-				cfg := driver.Config{Analysis: analysis, Promote: promote, K: opts.K}
-				if promote {
-					cfg.PointerPromote = opts.PointerPromotion
-				}
-				m, err := MeasureObserved(p, cfg)
-				if err != nil {
-					return nil, err
-				}
-				outputs = append(outputs, m.Output)
-				var compileNS int64
-				for _, e := range m.Passes {
-					compileNS += e.DurationNS
-				}
-				pr.Configs = append(pr.Configs, ConfigReport{
-					Analysis:   analysis.String(),
-					Promote:    promote,
-					Counts:     m.Counts,
-					Promotions: m.Promote,
-					Spilled:    m.Spilled,
-					CompileNS:  compileNS,
-					Passes:     m.Passes,
-				})
-			}
-		}
-		for _, o := range outputs[1:] {
-			if o != outputs[0] {
-				return nil, fmt.Errorf("%s: configurations disagree on program output", p.Name)
-			}
-		}
-		r.Programs = append(r.Programs, pr)
-	}
+	r := &Report{Schema: SchemaVersion, MemLatency: MemLatency, Programs: reports}
 	r.Figures = r.buildFigures()
 	return r, nil
 }
 
-// buildFigures derives the Figures 5–8 rows from the per-config
-// counts.
+// collectProgram measures one suite member under all four paper
+// configurations with telemetry attached.
+func collectProgram(p Program, opts Options) (ProgramReport, error) {
+	pr := ProgramReport{Name: p.Name, Lines: Lines(p)}
+	var outputs []string
+	for _, analysis := range []driver.Analysis{driver.ModRef, driver.PointsTo} {
+		for _, promote := range []bool{false, true} {
+			cfg := driver.Config{Analysis: analysis, Promote: promote, K: opts.K}
+			if promote {
+				cfg.PointerPromote = opts.PointerPromotion
+			}
+			m, err := MeasureObserved(p, cfg)
+			if err != nil {
+				return pr, err
+			}
+			outputs = append(outputs, m.Output)
+			var compileNS int64
+			for _, e := range m.Passes {
+				compileNS += e.DurationNS
+			}
+			pr.Configs = append(pr.Configs, ConfigReport{
+				Analysis:   analysis.String(),
+				Promote:    promote,
+				Counts:     m.Counts,
+				Promotions: m.Promote,
+				Spilled:    m.Spilled,
+				CompileNS:  compileNS,
+				Passes:     m.Passes,
+			})
+		}
+	}
+	for _, o := range outputs[1:] {
+		if o != outputs[0] {
+			return pr, fmt.Errorf("%s: configurations disagree on program output", p.Name)
+		}
+	}
+	return pr, nil
+}
+
+// buildFigures derives the rows of Figures 5, 6, and 7 — plus the
+// Figure 8 weighted-cycles extension — from the per-config counts.
 func (r *Report) buildFigures() []FigureReport {
 	var figs []FigureReport
 	for _, metric := range []Metric{TotalOps, Stores, Loads, WeightedCycles} {
@@ -184,6 +190,25 @@ func (r *Report) Program(name string) (*ProgramReport, bool) {
 		}
 	}
 	return nil, false
+}
+
+// StripTimings zeroes every wall-clock field — the report timestamp,
+// per-config compile times, and per-pass durations. What remains is
+// fully deterministic (counts, figure rows, IR snapshots), so two
+// stripped reports from the same code are byte-identical however they
+// were scheduled; the determinism tests compare serial and parallel
+// runs this way.
+func (r *Report) StripTimings() {
+	r.Timestamp = ""
+	for i := range r.Programs {
+		for j := range r.Programs[i].Configs {
+			c := &r.Programs[i].Configs[j]
+			c.CompileNS = 0
+			for _, e := range c.Passes {
+				e.DurationNS = 0
+			}
+		}
+	}
 }
 
 // WriteJSON emits the report as indented JSON.

@@ -1,4 +1,10 @@
-// Package lexer tokenizes C-subset source text.
+// Package lexer tokenizes C-subset source text into the token stream
+// the recursive-descent parser consumes. It handles the subset's full
+// lexical grammar — identifiers and keywords, integer, floating,
+// character, and string literals (with the usual escape sequences),
+// every multi-character operator, and both comment forms — and
+// reports each token with its line and column so front-end errors
+// point at source positions.
 package lexer
 
 import (

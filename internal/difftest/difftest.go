@@ -1,0 +1,262 @@
+// Package difftest is the compiler's differential-testing subsystem:
+// a standing correctness gate behind every measurement the paper's
+// figures make. For each seed it generates a deterministic, UB-free C
+// program (internal/testgen), compiles it under every pipeline
+// configuration the evaluation compares (driver.
+// DifferentialConfigurations: the no-opt reference, the baseline
+// optimizer, scalar and pointer promotion under both analyses, the
+// §3.3/§3.4 variants), executes each compilation in the instrumented
+// interpreter, and compares observable behaviour — printed output and
+// exit code. The generator rules out undefined behaviour by
+// construction, so any divergence is a compiler bug, full stop.
+//
+// When a seed diverges, the package shrinks it with a delta-debugging
+// reducer (Reduce) that removes generated statements and helper
+// functions while the divergence still reproduces, then writes a
+// self-contained failure artifact — original and reduced C source,
+// the final IL of every configuration, and a repro command — under a
+// corpus directory (WriteArtifacts). Fuzz drives the whole loop
+// across a seed range on the shared bench worker pool; cmd/rpfuzz is
+// its CLI.
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"regpromo/internal/bench"
+	"regpromo/internal/driver"
+	"regpromo/internal/interp"
+	"regpromo/internal/obs"
+	"regpromo/internal/testgen"
+)
+
+// MaxSteps bounds each interpreted execution. Generated programs are
+// small and their loops statically bounded, so any run this long is a
+// termination bug; the bound is shared by every configuration so a
+// uniform timeout cannot masquerade as a divergence.
+const MaxSteps = 1 << 28
+
+// Execution is one configuration's observable outcome on a program.
+type Execution struct {
+	Config driver.NamedConfig
+	// Output and Exit are the program's observable behaviour; Err is
+	// set instead when compilation or execution failed.
+	Output string
+	Exit   int64
+	Err    error
+}
+
+// Behaviour renders the outcome as a comparable string: diverging
+// behaviours compare unequal, identical ones equal.
+func (e *Execution) Behaviour() string {
+	if e.Err != nil {
+		return "error: " + e.Err.Error()
+	}
+	return fmt.Sprintf("exit=%d output=%q", e.Exit, e.Output)
+}
+
+// Result is the differential verdict on one program.
+type Result struct {
+	Seed   int64
+	Source string
+	Execs  []Execution
+}
+
+// Divergence describes how the configurations disagree, or returns ""
+// when they all agree. The first configuration (the no-opt reference)
+// is the anchor every other configuration is compared against.
+func (r *Result) Divergence() string {
+	if len(r.Execs) == 0 {
+		return ""
+	}
+	ref := r.Execs[0].Behaviour()
+	var sb strings.Builder
+	for _, e := range r.Execs[1:] {
+		if b := e.Behaviour(); b != ref {
+			fmt.Fprintf(&sb, "%s: %s\n  (reference %s: %s)\n",
+				e.Config.Name, b, r.Execs[0].Config.Name, ref)
+		}
+	}
+	return sb.String()
+}
+
+// Diverged reports whether any configuration disagrees with the
+// reference.
+func (r *Result) Diverged() bool { return r.Divergence() != "" }
+
+// DiffSource compiles and executes src under every configuration of
+// the matrix.
+func DiffSource(filename, src string, matrix []driver.NamedConfig) *Result {
+	r := &Result{Source: src}
+	for _, nc := range matrix {
+		r.Execs = append(r.Execs, runOne(filename, src, nc))
+	}
+	return r
+}
+
+// DiffSeed generates the seed's program and diffs it.
+func DiffSeed(seed int64, matrix []driver.NamedConfig) *Result {
+	r := DiffSource(fmt.Sprintf("seed%d.c", seed), testgen.Program(seed), matrix)
+	r.Seed = seed
+	return r
+}
+
+func runOne(filename, src string, nc driver.NamedConfig) Execution {
+	e := Execution{Config: nc}
+	c, err := driver.CompileSource(filename, src, nc.Config)
+	if err != nil {
+		e.Err = fmt.Errorf("compile: %w", err)
+		return e
+	}
+	res, err := c.Execute(interp.Options{MaxSteps: MaxSteps})
+	if err != nil {
+		e.Err = fmt.Errorf("execute: %w", err)
+		return e
+	}
+	e.Output = res.Output
+	e.Exit = res.Exit
+	return e
+}
+
+// Failure is one divergent seed with its reduction and artifact
+// location.
+type Failure struct {
+	Seed       int64
+	Divergence string
+	// Reduced is the shrunk source (equal to the original when
+	// reduction was disabled or could not shrink it).
+	Reduced string
+	// Units counts the generated units kept in the reduced program.
+	Units int
+	// Dir is the corpus directory the artifact was written to (empty
+	// when no corpus was requested).
+	Dir string
+}
+
+// FuzzOptions configure a fuzzing run.
+type FuzzOptions struct {
+	// Start is the first seed; Seeds is how many consecutive seeds to
+	// test.
+	Start, Seeds int64
+	// Parallel bounds concurrent seeds (<=0 means one worker per
+	// CPU).
+	Parallel int
+	// Short trims the configuration matrix for smoke runs.
+	Short bool
+	// Reduce shrinks each failing program before reporting it.
+	Reduce bool
+	// CorpusDir, when non-empty, receives a failure artifact per
+	// divergent seed.
+	CorpusDir string
+	// Progress, when non-nil, is called after each seed completes
+	// (from worker goroutines, possibly out of order).
+	Progress func(seed int64, diverged bool)
+}
+
+// FuzzReport summarizes a fuzzing run.
+type FuzzReport struct {
+	Seeds    int64
+	Matrix   []driver.NamedConfig
+	Failures []Failure
+}
+
+// Fuzz differentially tests Seeds consecutive seeds and reports every
+// divergence, reduced and archived according to the options. The seed
+// loop runs on the shared bench worker pool; failures are reported in
+// seed order regardless of schedule. The error return is for
+// infrastructure problems (unwritable corpus); divergences are data,
+// not errors.
+func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
+	matrix := driver.DifferentialConfigurations(opts.Short)
+	report := &FuzzReport{Seeds: opts.Seeds, Matrix: matrix}
+	fails, err := bench.ParallelMap(int(opts.Seeds), opts.Parallel, func(i int) (*Failure, error) {
+		seed := opts.Start + int64(i)
+		r := DiffSeed(seed, matrix)
+		div := r.Divergence()
+		if opts.Progress != nil {
+			opts.Progress(seed, div != "")
+		}
+		if div == "" {
+			return nil, nil
+		}
+		f := &Failure{Seed: seed, Divergence: div, Reduced: r.Source, Units: testgen.Units(seed)}
+		if opts.Reduce {
+			f.Reduced, f.Units = Reduce(seed, func(src string) bool {
+				return DiffSource(fmt.Sprintf("seed%d.c", seed), src, matrix).Diverged()
+			})
+		}
+		if opts.CorpusDir != "" {
+			dir, err := WriteArtifacts(opts.CorpusDir, r, f.Reduced)
+			if err != nil {
+				return nil, err
+			}
+			f.Dir = dir
+		}
+		return f, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fails {
+		if f != nil {
+			report.Failures = append(report.Failures, *f)
+		}
+	}
+	return report, nil
+}
+
+// WriteArtifacts archives a divergent result under dir/seed<NNN>:
+// the generating source (prog.c), the reduced reproducer (reduced.c),
+// the divergence summary with a repro command (repro.txt), and the
+// final IL of each configuration as captured by the observability
+// pipeline (il-<config>.txt). It returns the artifact directory.
+func WriteArtifacts(dir string, r *Result, reduced string) (string, error) {
+	sub := filepath.Join(dir, fmt.Sprintf("seed%d", r.Seed))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		return "", err
+	}
+	write := func(name, content string) error {
+		return os.WriteFile(filepath.Join(sub, name), []byte(content), 0o644)
+	}
+	if err := write("prog.c", r.Source); err != nil {
+		return "", err
+	}
+	if err := write("reduced.c", reduced); err != nil {
+		return "", err
+	}
+	var repro strings.Builder
+	fmt.Fprintf(&repro, "Differential divergence on seed %d.\n\n%s\n", r.Seed, r.Divergence())
+	fmt.Fprintf(&repro, "Reproduce with:\n\n    go run ./cmd/rpfuzz -start %d -seeds 1\n\n", r.Seed)
+	repro.WriteString("Per-configuration behaviour:\n\n")
+	for i := range r.Execs {
+		e := &r.Execs[i]
+		fmt.Fprintf(&repro, "  %-22s %s\n", e.Config.Name, e.Behaviour())
+		il, err := finalIL(fmt.Sprintf("seed%d.c", r.Seed), reduced, e.Config)
+		if err != nil {
+			il = "; IL unavailable: " + err.Error() + "\n"
+		}
+		if err := write("il-"+e.Config.Name+".txt", il); err != nil {
+			return "", err
+		}
+	}
+	if err := write("repro.txt", repro.String()); err != nil {
+		return "", err
+	}
+	return sub, nil
+}
+
+// finalIL compiles src under one configuration with the observability
+// pipeline capturing the IL after the final verification pass.
+func finalIL(filename, src string, nc driver.NamedConfig) (string, error) {
+	pipe := &obs.Pipeline{DumpPass: driver.PassVerify}
+	if _, err := driver.Compile(filename, src, nc.Config, pipe); err != nil {
+		return "", err
+	}
+	if ev := pipe.Event(driver.PassVerify); ev != nil && ev.IRDump != "" {
+		return ev.IRDump, nil
+	}
+	return "", fmt.Errorf("no IL captured")
+}

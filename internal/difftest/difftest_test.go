@@ -1,0 +1,162 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"regpromo/internal/driver"
+	"regpromo/internal/testgen"
+)
+
+// TestDiffSeedAgreesOnMain: a handful of seeds through the full
+// matrix; any divergence is a miscompilation in the tree.
+func TestDiffSeedAgreesOnMain(t *testing.T) {
+	matrix := driver.DifferentialConfigurations(false)
+	for seed := int64(1); seed <= 5; seed++ {
+		r := DiffSeed(seed, matrix)
+		if d := r.Divergence(); d != "" {
+			t.Errorf("seed %d diverges:\n%s\n%s", seed, d, r.Source)
+		}
+	}
+}
+
+// TestFuzzCleanOnMain drives the whole Fuzz loop (parallel, short
+// matrix) and expects a clean report.
+func TestFuzzCleanOnMain(t *testing.T) {
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 10
+	}
+	rep, err := Fuzz(FuzzOptions{Start: 1000, Seeds: seeds, Parallel: 4, Short: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("fuzzing found %d divergences: %+v", len(rep.Failures), rep.Failures)
+	}
+}
+
+// unitText recovers the text of one removable unit by rendering the
+// program with only that unit kept and subtracting the never-pruned
+// scaffolding around it.
+func unitText(seed int64, u int) string {
+	with := testgen.ProgramKeep(seed, func(i int) bool { return i == u })
+	without := testgen.ProgramKeep(seed, func(i int) bool { return false })
+	lo := 0
+	for lo < len(without) && lo < len(with) && with[lo] == without[lo] {
+		lo++
+	}
+	hi := 0
+	for hi < len(without)-lo && hi < len(with)-lo && with[len(with)-1-hi] == without[len(without)-1-hi] {
+		hi++
+	}
+	return with[lo : len(with)-hi]
+}
+
+// lastMainUnit returns the index and text of the seed's final
+// main-body statement — a unit that survives on its own (units inside
+// helper functions disappear when the helper itself is pruned, so
+// they make poor reduction targets for this test).
+func lastMainUnit(t *testing.T, seed int64) (int, string) {
+	t.Helper()
+	u := testgen.Units(seed) - 1
+	text := unitText(seed, u)
+	if text == "" {
+		t.Fatalf("seed %d: unit %d has no text", seed, u)
+	}
+	return u, text
+}
+
+// TestReduceShrinksToMarker: with an oracle that "fails" whenever a
+// marker statement is present, the reducer must strip essentially
+// everything else. Each seeded fixture must shrink to at most two
+// kept units (the marker plus, at worst, one unremovable companion).
+func TestReduceShrinksToMarker(t *testing.T) {
+	for _, seed := range []int64{3, 42, 777, 90210} {
+		_, marker := lastMainUnit(t, seed)
+		checks := 0
+		reduced, kept := Reduce(seed, func(src string) bool {
+			checks++
+			return strings.Contains(src, marker)
+		})
+		if !strings.Contains(reduced, marker) {
+			t.Errorf("seed %d: reduction lost the marker", seed)
+		}
+		if kept > 2 {
+			t.Errorf("seed %d: reduced to %d units, want <= 2 (of %d)\n%s",
+				seed, kept, testgen.Units(seed), reduced)
+		}
+		if full := testgen.Program(seed); len(reduced) >= len(full) {
+			t.Errorf("seed %d: reduced program (%d bytes) not smaller than original (%d)", seed, len(reduced), len(full))
+		}
+		if checks == 0 {
+			t.Errorf("seed %d: oracle never consulted", seed)
+		}
+	}
+}
+
+// TestReduceIrreproducible: when the oracle rejects even the full
+// program, Reduce must hand it back untouched.
+func TestReduceIrreproducible(t *testing.T) {
+	seed := int64(11)
+	src, kept := Reduce(seed, func(string) bool { return false })
+	if src != testgen.Program(seed) || kept != testgen.Units(seed) {
+		t.Fatal("irreproducible failure should return the full program")
+	}
+}
+
+// TestReducedCandidatesStayWellFormed: every candidate the reducer
+// proposes against a real differential oracle must at minimum keep
+// the reference configuration compiling and running — pruning only
+// removes whole generated units, never scaffolding.
+func TestReducedCandidatesStayWellFormed(t *testing.T) {
+	ref := driver.DifferentialConfigurations(true)[:1]
+	seed := int64(1234)
+	_, marker := lastMainUnit(t, seed)
+	probes := 0
+	Reduce(seed, func(src string) bool {
+		probes++
+		r := DiffSource("cand.c", src, ref)
+		// Compile errors are legitimate rejected trials (e.g. a
+		// pruned helper that is still called); runtime faults are
+		// not — pruning whole units must never corrupt the program.
+		if err := r.Execs[0].Err; err != nil && strings.Contains(err.Error(), "execute:") {
+			t.Fatalf("candidate faults at runtime: %v\n%s", err, src)
+		}
+		return strings.Contains(src, marker)
+	})
+	if probes < 3 {
+		t.Fatalf("reducer probed only %d candidates, expected a real search", probes)
+	}
+}
+
+// TestWriteArtifacts archives a (non-divergent) result and checks the
+// corpus layout.
+func TestWriteArtifacts(t *testing.T) {
+	matrix := driver.DifferentialConfigurations(true)
+	r := DiffSeed(7, matrix)
+	dir := t.TempDir()
+	sub, err := WriteArtifacts(dir, r, r.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"prog.c", "reduced.c", "repro.txt"}
+	for _, nc := range matrix {
+		want = append(want, "il-"+nc.Name+".txt")
+	}
+	for _, name := range want {
+		data, err := os.ReadFile(filepath.Join(sub, name))
+		if err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
+	repro, _ := os.ReadFile(filepath.Join(sub, "repro.txt"))
+	if !strings.Contains(string(repro), "rpfuzz -start 7 -seeds 1") {
+		t.Error("repro.txt lacks the repro command")
+	}
+}

@@ -1,0 +1,85 @@
+package difftest
+
+import "regpromo/internal/testgen"
+
+// Check is a reducer oracle: it reports whether a candidate program
+// still exhibits the failure being chased. For real divergences the
+// oracle re-runs the differential matrix; tests substitute cheaper
+// predicates.
+type Check func(src string) bool
+
+// Reduce shrinks a failing seed's generated program by delta
+// debugging over its removable units (testgen: helper functions and
+// top-level statements): it repeatedly regenerates the program with
+// ever-smaller unit subsets, keeping a trial only when check still
+// fails on the candidate. Removal is chunked ddmin-style — halves
+// first, then singletons to a fixpoint — so large irrelevant regions
+// fall away in O(log n) probes before the fine pass. A trial that
+// breaks compilation (for example, removing a helper that is still
+// called) simply fails check and is rejected.
+//
+// Reduce returns the smallest failing program found and how many
+// units it retains. The full program is returned unchanged if check
+// rejects it (an irreproducible failure).
+func Reduce(seed int64, check Check) (string, int) {
+	n := testgen.Units(seed)
+	keep := make([]bool, n)
+	for i := range keep {
+		keep[i] = true
+	}
+	render := func(mask []bool) string {
+		return testgen.ProgramKeep(seed, func(u int) bool { return mask[u] })
+	}
+	kept := func(mask []bool) int {
+		c := 0
+		for _, k := range mask {
+			if k {
+				c++
+			}
+		}
+		return c
+	}
+	if !check(render(keep)) {
+		return render(keep), n
+	}
+
+	// try removes the kept units in [lo, hi) if the result still
+	// fails.
+	try := func(lo, hi int) bool {
+		trial := make([]bool, n)
+		removed := false
+		for i := range keep {
+			trial[i] = keep[i]
+			if i >= lo && i < hi && trial[i] {
+				trial[i] = false
+				removed = true
+			}
+		}
+		if !removed || !check(render(trial)) {
+			return false
+		}
+		keep = trial
+		return true
+	}
+
+	for chunk := (n + 1) / 2; chunk >= 1; chunk /= 2 {
+		for {
+			changed := false
+			for lo := 0; lo < n; lo += chunk {
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if try(lo, hi) {
+					changed = true
+				}
+			}
+			// Coarse chunks get one sweep each; the singleton pass
+			// repeats until no single unit can be removed.
+			if chunk > 1 || !changed {
+				break
+			}
+		}
+	}
+	return render(keep), kept(keep)
+}

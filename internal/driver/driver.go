@@ -302,3 +302,42 @@ func Configurations() []Config {
 		{Analysis: PointsTo, Promote: true},
 	}
 }
+
+// NamedConfig pairs a configuration with a stable display name, for
+// matrices (differential testing, reports) that must label their
+// columns.
+type NamedConfig struct {
+	Name   string
+	Config Config
+}
+
+// DifferentialConfigurations enumerates the pipeline configurations
+// the differential tester (internal/difftest) compares. The first
+// entry is the reference: classical optimizations disabled and
+// virtual registers kept, i.e. the straightest lowering of the source
+// semantics. Every other configuration must produce the same
+// observable behaviour; any disagreement is a miscompilation by
+// construction. short trims the matrix to the reference plus the
+// paper's three measured pipelines, for quick CI smoke runs.
+func DifferentialConfigurations(short bool) []NamedConfig {
+	ncs := []NamedConfig{
+		{"ref-noopt", Config{Analysis: ModRef, DisableOpt: true, NoAlloc: true}},
+		{"baseline", Config{Analysis: ModRef}},
+		{"promote-modref", Config{Analysis: ModRef, Promote: true}},
+		{"promote-pointer", Config{Analysis: PointsTo, Promote: true, PointerPromote: true}},
+	}
+	if short {
+		return ncs
+	}
+	return append(ncs,
+		// §3.3 promotion with the demotion-store ablation.
+		NamedConfig{"promote-skipunwritten", Config{Analysis: PointsTo, Promote: true, PointerPromote: true, SkipUnwrittenStores: true}},
+		// Promotion plus the tag-based dead-store-elimination
+		// extension (off in the paper's pipeline, so it only ever
+		// runs against the others here).
+		NamedConfig{"promote-dse", Config{Analysis: PointsTo, Promote: true, PointerPromote: true, DSE: true}},
+		// Throttled promotion under a scarce register supply forces
+		// the allocator's spill paths into the comparison.
+		NamedConfig{"promote-throttle-k8", Config{Analysis: ModRef, Promote: true, Throttle: 8, K: 8}},
+	)
+}

@@ -6,6 +6,14 @@
 // indexing, and division only by nonzero constants, so that any
 // behavioural difference between two compilations of the same program
 // is a compiler bug, never undefined behaviour.
+//
+// Beyond whole-program generation (Program), the package exposes the
+// program's removable units — every helper function and every
+// top-level statement of a function body — to the differential
+// tester's reducer (internal/difftest): Units counts them and
+// ProgramKeep regenerates the program with an arbitrary subset
+// omitted. Pruning never perturbs the random stream, so the units a
+// caller keeps are textually identical to the full program's.
 package testgen
 
 import (
@@ -18,21 +26,64 @@ import (
 // program prints a checksum of all observable state before returning
 // it from main.
 func Program(seed int64) string {
+	src, _ := generate(seed, nil)
+	return src
+}
+
+// Units returns how many removable units — helper functions and
+// top-level body statements — the seed's program contains. Unit
+// indices are stable: they are assigned in generation order, which is
+// fully determined by the seed.
+func Units(seed int64) int {
+	_, n := generate(seed, nil)
+	return n
+}
+
+// ProgramKeep regenerates the seed's program including only the
+// removable units accepted by keep (nil keeps everything). The
+// surviving text is byte-identical to the corresponding parts of
+// Program(seed); dropping a helper that is still called elsewhere
+// yields a program that no longer compiles, which reducers treat as a
+// rejected trial. Checksum plumbing, declarations, and array
+// initialization are never pruned, so every candidate still prints
+// its observable state.
+func ProgramKeep(seed int64, keep func(int) bool) string {
+	src, _ := generate(seed, keep)
+	return src
+}
+
+func generate(seed int64, keep func(int) bool) (string, int) {
 	g := &gen{
-		rng: rand.New(rand.NewSource(seed)),
+		rng:  rand.New(rand.NewSource(seed)),
+		keep: keep,
 	}
-	return g.program()
+	return g.program(), g.units
 }
 
 type gen struct {
-	rng *rand.Rand
-	sb  strings.Builder
+	rng  *rand.Rand
+	sb   strings.Builder
+	keep func(int) bool
+	// units counts the removable units allocated so far; each helper
+	// function and each top-level body statement takes one index.
+	units int
 
 	globals []string // global int scalars
 	arrays  []string // global int arrays (all length arrayLen)
 	funcs   []fnInfo
 	depth   int
 	loopVar int
+}
+
+// unitInto appends text to out unless the unit's index is pruned.
+// Generation has already happened by the time unitInto runs, so
+// pruning cannot perturb the random stream.
+func (g *gen) unitInto(out *strings.Builder, text string) {
+	u := g.units
+	g.units++
+	if g.keep == nil || g.keep(u) {
+		out.WriteString(text)
+	}
 }
 
 type fnInfo struct {
@@ -229,16 +280,25 @@ func (g *gen) emitHelper(i int) {
 		params = append(params, "int "+p)
 		scope = append(scope, p)
 	}
-	fmt.Fprintf(&g.sb, "int %s(%s) {\n", name, strings.Join(params, ", "))
-	fmt.Fprintf(&g.sb, "\tint v;\n\tv = %s;\n", g.expr(scope, 2))
+	// The whole helper is a removable unit; claim its index before the
+	// body statements claim theirs so function units precede the units
+	// nested inside them.
+	hu := g.units
+	g.units++
+	var hb strings.Builder
+	fmt.Fprintf(&hb, "int %s(%s) {\n", name, strings.Join(params, ", "))
+	fmt.Fprintf(&hb, "\tint v;\n\tv = %s;\n", g.expr(scope, 2))
 	if ptr {
-		fmt.Fprintf(&g.sb, "\t*p0 = (*p0 + v) & 8191;\n")
+		fmt.Fprintf(&hb, "\t*p0 = (*p0 + v) & 8191;\n")
 	}
 	n := 1 + g.pick(3)
 	for j := 0; j < n; j++ {
-		g.sb.WriteString(g.stmt(scope, scope, "\t", 1))
+		g.unitInto(&hb, g.stmt(scope, scope, "\t", 1))
 	}
-	fmt.Fprintf(&g.sb, "\treturn (v & 255);\n}\n\n")
+	fmt.Fprintf(&hb, "\treturn (v & 255);\n}\n\n")
+	if g.keep == nil || g.keep(hu) {
+		g.sb.WriteString(hb.String())
+	}
 	g.funcs = append(g.funcs, fnInfo{name: name, nParams: nParams, ptr: ptr})
 }
 
@@ -253,7 +313,7 @@ func (g *gen) emitMain() {
 	}
 	n := 3 + g.pick(5)
 	for j := 0; j < n; j++ {
-		g.sb.WriteString(g.stmt(scope, scope, "\t", 2))
+		g.unitInto(&g.sb, g.stmt(scope, scope, "\t", 2))
 	}
 	// Checksum every observable location.
 	g.sb.WriteString("\tcheck = local0 ^ local1;\n")

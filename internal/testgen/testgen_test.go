@@ -1,6 +1,7 @@
 package testgen
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -16,6 +17,76 @@ func TestDeterministic(t *testing.T) {
 	}
 	if Program(1) == Program(2) {
 		t.Fatal("different seeds should give different programs")
+	}
+}
+
+// TestProgramKeepAllIsProgram: pruning nothing must reproduce the
+// full program byte for byte — pruning never perturbs generation.
+func TestProgramKeepAllIsProgram(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		if ProgramKeep(seed, func(int) bool { return true }) != Program(seed) {
+			t.Fatalf("seed %d: keep-all differs from Program", seed)
+		}
+		if n := Units(seed); n < 4 {
+			t.Fatalf("seed %d: only %d removable units", seed, n)
+		}
+	}
+}
+
+// TestProgramKeepNoneStillRuns: the never-pruned scaffolding
+// (declarations, array initialization, checksum) must itself be a
+// valid program, so every reducer candidate between "all" and "none"
+// is structurally sound.
+func TestProgramKeepNoneStillRuns(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		src := ProgramKeep(seed, func(int) bool { return false })
+		f, err := parser.Parse("gen.c", src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		p, err := sema.Check(f)
+		if err != nil {
+			t.Fatalf("seed %d: sema: %v\n%s", seed, err, src)
+		}
+		m, err := irgen.Generate(p)
+		if err != nil {
+			t.Fatalf("seed %d: irgen: %v\n%s", seed, err, src)
+		}
+		res, err := interp.Run(m, interp.Options{MaxSteps: 10_000_000})
+		if err != nil {
+			t.Fatalf("seed %d: run: %v\n%s", seed, err, src)
+		}
+		if res.Output == "" {
+			t.Fatalf("seed %d: scaffolding printed no checksum", seed)
+		}
+	}
+}
+
+// TestProgramKeepSubsetIsSubstring: a kept unit's text is identical
+// to its text in the full program (removal only deletes, never
+// rewrites).
+func TestProgramKeepSubsetIsSubstring(t *testing.T) {
+	seed := int64(9)
+	full := Program(seed)
+	n := Units(seed)
+	for u := 0; u < n; u++ {
+		drop := u
+		src := ProgramKeep(seed, func(i int) bool { return i != drop })
+		if len(src) > len(full) {
+			t.Fatalf("seed %d: dropping unit %d grew the program", seed, u)
+		}
+		// Every line of the pruned program must appear in the full
+		// one.
+		fullLines := map[string]int{}
+		for _, l := range strings.Split(full, "\n") {
+			fullLines[l]++
+		}
+		for _, l := range strings.Split(src, "\n") {
+			if fullLines[l] == 0 {
+				t.Fatalf("seed %d: pruned program invented line %q", seed, l)
+			}
+			fullLines[l]--
+		}
 	}
 }
 
