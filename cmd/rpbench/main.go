@@ -18,6 +18,9 @@
 //	                         adds over scalar promotion (§3.3 study)
 //	rpbench -programs a,b,c  restrict to named programs
 //	-k N                     physical register count (default 32)
+//	-engine flat|switch      interpreter engine (default flat; counts
+//	                         are engine-independent, only wall time
+//	                         changes)
 //	-markdown                emit Markdown tables (for EXPERIMENTS.md)
 //	rpbench -json            run the observed matrix and write the full
 //	                         machine-readable report — dynamic counts
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"regpromo/internal/bench"
+	"regpromo/internal/interp"
 )
 
 func main() {
@@ -47,6 +51,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write the observed benchmark report as BENCH_<timestamp>.json")
 	out := flag.String("out", "", "output path for -json (default BENCH_<timestamp>.json, \"-\" = stdout)")
 	parallel := flag.Int("parallel", 1, "programs measured concurrently (0 = one per CPU, 1 = serial)")
+	engineName := flag.String("engine", "flat", "interpreter engine: flat or switch")
 	flag.Parse()
 
 	if *list {
@@ -54,7 +59,13 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{K: *k, Parallel: *parallel}
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpbench:", err)
+		os.Exit(2)
+	}
+
+	opts := bench.Options{K: *k, Parallel: *parallel, Engine: engine}
 	if *parallel == 0 {
 		opts.Parallel = bench.DefaultWorkers()
 	}

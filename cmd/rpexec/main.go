@@ -10,13 +10,18 @@
 // It accepts the same configuration flags as rpcc, plus -profile,
 // which prints an execution profile: the hottest basic blocks by
 // execution count and the per-tag dynamic memory traffic (-top bounds
-// both lists).
+// both lists). -engine selects the interpreter engine (flat, the
+// pre-lowered default, or switch, the block-walking reference); both
+// produce identical counts, so the choice only changes wall time.
+// -cpuprofile writes a Go pprof profile of the whole compile+run, for
+// profiling the measurement loop itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"regpromo/internal/driver"
 	"regpromo/internal/interp"
@@ -35,6 +40,8 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress program output, print only counts")
 	profile := flag.Bool("profile", false, "collect and print a hot-spot profile")
 	top := flag.Int("top", 10, "profile list length (with -profile)")
+	engineName := flag.String("engine", "flat", "interpreter engine: flat or switch")
+	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the compile+run to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -68,12 +75,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpexec:", err)
+		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpexec:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rpexec:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	c, err := driver.CompileSource(path, string(src), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpexec:", err)
 		os.Exit(1)
 	}
-	res, err := c.Execute(interp.Options{MaxSteps: *maxSteps, Profile: *profile})
+	res, err := c.Execute(interp.Options{MaxSteps: *maxSteps, Profile: *profile, Engine: engine})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpexec:", err)
 		os.Exit(1)

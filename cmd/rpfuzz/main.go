@@ -17,6 +17,10 @@
 //	-parallel M   concurrent seeds (default: one per CPU)
 //	-short        trim the matrix to the reference plus the paper's
 //	              three measured pipelines (CI smoke runs)
+//	-engines E    "flat" runs the default engine only; "both"
+//	              additionally executes every compilation on the
+//	              switch reference engine and flags any flat-vs-switch
+//	              disagreement (counts included) as a divergence
 //	-noreduce     archive failures without shrinking them first
 //	-corpus DIR   failure artifact directory (default difftest/corpus)
 //	-v            log each divergent seed as it is found
@@ -44,20 +48,26 @@ func main() {
 	short := flag.Bool("short", false, "trim the configuration matrix for smoke runs")
 	noreduce := flag.Bool("noreduce", false, "skip delta-debugging reduction of failures")
 	corpus := flag.String("corpus", "difftest/corpus", "failure artifact directory")
+	engines := flag.String("engines", "flat", `interpreter engines: "flat" or "both" (flat vs switch cross-check)`)
 	verbose := flag.Bool("v", false, "log each divergence as it is found")
 	flag.Parse()
 	if *seeds <= 0 {
 		fmt.Fprintln(os.Stderr, "rpfuzz: -seeds must be positive")
 		os.Exit(2)
 	}
+	if *engines != "flat" && *engines != "both" {
+		fmt.Fprintf(os.Stderr, "rpfuzz: -engines must be \"flat\" or \"both\", not %q\n", *engines)
+		os.Exit(2)
+	}
 
 	opts := difftest.FuzzOptions{
-		Start:     *start,
-		Seeds:     *seeds,
-		Parallel:  *parallel,
-		Short:     *short,
-		Reduce:    !*noreduce,
-		CorpusDir: *corpus,
+		Start:       *start,
+		Seeds:       *seeds,
+		Parallel:    *parallel,
+		Short:       *short,
+		BothEngines: *engines == "both",
+		Reduce:      !*noreduce,
+		CorpusDir:   *corpus,
 	}
 	if *verbose {
 		opts.Progress = func(seed int64, diverged bool) {

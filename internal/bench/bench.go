@@ -10,6 +10,7 @@ import (
 	"embed"
 	"fmt"
 	"strings"
+	"time"
 
 	"regpromo/internal/driver"
 	"regpromo/internal/interp"
@@ -72,13 +73,20 @@ type Measurement struct {
 	Promote int // scalar + pointer promotions performed
 	Spilled int
 
+	// Exec records how the run happened: which interpreter engine, a
+	// shared or from-scratch front end, and the execution wall time.
+	Exec obs.ExecEvent
+
 	// Passes is the per-pass telemetry (wall time, IR deltas, pass
 	// stats) recorded when the measurement was observed; nil for
 	// plain Measure calls.
 	Passes []*obs.PassEvent
 }
 
-// Measure compiles p under cfg and executes it.
+// Measure compiles p under cfg from source and executes it on the
+// default (flat) engine. The measurement matrix (RunFigures,
+// CollectReport) does not go through here: it parses each program once
+// and forks the per-configuration pipelines from the shared artifact.
 func Measure(p Program, cfg driver.Config) (*Measurement, error) {
 	return measureWith(p, cfg, nil)
 }
@@ -94,7 +102,32 @@ func measureWith(p Program, cfg driver.Config, pipe *obs.Pipeline) (*Measurement
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
-	res, err := c.Execute(interp.Options{MaxSteps: 1 << 33})
+	return execute(p, c, interp.EngineFlat, false, pipe)
+}
+
+// measureShared forks cfg's pipeline from the program's parsed
+// artifact and executes the result under engine. pipe may be nil.
+func measureShared(p Program, fe *driver.Frontend, cfg driver.Config, engine interp.Engine, pipe *obs.Pipeline) (*Measurement, error) {
+	c, err := fe.Compile(cfg, pipe)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return execute(p, c, engine, true, pipe)
+}
+
+// frontend parses a suite member once for compile-once sharing.
+func frontend(p Program) (*driver.Frontend, error) {
+	fe, err := driver.ParseSource(p.Name+".c", Source(p))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return fe, nil
+}
+
+// execute runs a compiled program and packages the measurement.
+func execute(p Program, c *driver.Compilation, engine interp.Engine, reused bool, pipe *obs.Pipeline) (*Measurement, error) {
+	start := time.Now()
+	res, err := c.Execute(interp.Options{MaxSteps: 1 << 33, Engine: engine})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
@@ -103,6 +136,11 @@ func measureWith(p Program, cfg driver.Config, pipe *obs.Pipeline) (*Measurement
 		Output:  res.Output,
 		Promote: c.Promote.ScalarPromotions + c.Promote.PointerPromotions,
 		Spilled: c.Alloc.Spilled,
+		Exec: obs.ExecEvent{
+			Engine:         engine.String(),
+			FrontendReused: reused,
+			DurationNS:     time.Since(start).Nanoseconds(),
+		},
 	}
 	if pipe != nil {
 		m.Passes = pipe.Events
@@ -188,6 +226,11 @@ type Options struct {
 	Programs []string
 	// K overrides the register supply (0 = default).
 	K int
+	// Engine selects the interpreter engine for the measurement runs
+	// (zero value = the flat engine). Counts are engine-independent —
+	// the engines differential test holds them to byte equality — so
+	// this only changes measurement wall time.
+	Engine interp.Engine
 	// Parallel bounds how many programs are measured concurrently:
 	// 1 (or less) measures serially, 0 is treated as 1, and larger
 	// values fan the suite out over a worker pool. Results are
@@ -242,12 +285,17 @@ type programFigures struct {
 // measureProgram runs one suite member under the four-configuration
 // matrix and cross-checks the outputs: a configuration that changes a
 // program's observable output indicates a miscompilation and fails
-// the measurement.
+// the measurement. The front end runs once; every configuration forks
+// its pipeline from the shared artifact.
 func measureProgram(p Program, opts Options) (*programFigures, error) {
 	pf := &programFigures{
 		rows:       map[Metric][]Row{},
 		promotions: map[string]int{},
 		spills:     map[string]int{},
+	}
+	fe, err := frontend(p)
+	if err != nil {
+		return nil, err
 	}
 	var outputs []string
 	for _, analysis := range []driver.Analysis{driver.ModRef, driver.PointsTo} {
@@ -256,11 +304,11 @@ func measureProgram(p Program, opts Options) (*programFigures, error) {
 		with.Promote = true
 		with.PointerPromote = opts.PointerPromotion
 
-		m0, err := Measure(p, base)
+		m0, err := measureShared(p, fe, base, opts.Engine, nil)
 		if err != nil {
 			return nil, err
 		}
-		m1, err := Measure(p, with)
+		m1, err := measureShared(p, fe, with, opts.Engine, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -58,6 +58,9 @@ type ConfigReport struct {
 	// with per-pass IR deltas and statistics.
 	CompileNS int64            `json:"compile_ns"`
 	Passes    []*obs.PassEvent `json:"passes"`
+	// Exec records the execution side: engine, compile-once reuse,
+	// and run wall time.
+	Exec obs.ExecEvent `json:"exec,omitempty"`
 }
 
 // FigureReport is one rendered figure of the paper's matrix.
@@ -102,9 +105,16 @@ func CollectReport(opts Options) (*Report, error) {
 }
 
 // collectProgram measures one suite member under all four paper
-// configurations with telemetry attached.
+// configurations with telemetry attached. The front end runs once per
+// program; each configuration's pipeline is forked from the shared
+// artifact and its observer records the "frontend.reuse" stage in
+// place of a repeated parse.
 func collectProgram(p Program, opts Options) (ProgramReport, error) {
 	pr := ProgramReport{Name: p.Name, Lines: Lines(p)}
+	fe, err := frontend(p)
+	if err != nil {
+		return pr, err
+	}
 	var outputs []string
 	for _, analysis := range []driver.Analysis{driver.ModRef, driver.PointsTo} {
 		for _, promote := range []bool{false, true} {
@@ -112,7 +122,7 @@ func collectProgram(p Program, opts Options) (ProgramReport, error) {
 			if promote {
 				cfg.PointerPromote = opts.PointerPromotion
 			}
-			m, err := MeasureObserved(p, cfg)
+			m, err := measureShared(p, fe, cfg, opts.Engine, &obs.Pipeline{})
 			if err != nil {
 				return pr, err
 			}
@@ -129,6 +139,7 @@ func collectProgram(p Program, opts Options) (ProgramReport, error) {
 				Spilled:    m.Spilled,
 				CompileNS:  compileNS,
 				Passes:     m.Passes,
+				Exec:       m.Exec,
 			})
 		}
 	}
@@ -204,6 +215,7 @@ func (r *Report) StripTimings() {
 		for j := range r.Programs[i].Configs {
 			c := &r.Programs[i].Configs[j]
 			c.CompileNS = 0
+			c.Exec.DurationNS = 0
 			for _, e := range c.Passes {
 				e.DurationNS = 0
 			}

@@ -48,11 +48,19 @@ func TestCollectReport(t *testing.T) {
 			for _, e := range c.Passes {
 				names[e.Name] = true
 			}
-			if !names[driver.PassFrontend] || !names[driver.PassRegalloc] {
+			// Compile-once sharing: each configuration's stream opens
+			// with the fork-from-artifact stage, not a repeated parse.
+			if !names[driver.PassFrontendReuse] || !names[driver.PassRegalloc] {
 				t.Fatalf("%s/%s: pass stream incomplete: %v", p.Name, c.Analysis, names)
+			}
+			if names[driver.PassFrontend] {
+				t.Fatalf("%s/%s: front end re-ran despite the shared artifact", p.Name, c.Analysis)
 			}
 			if c.Promote != names[driver.PassPromote] {
 				t.Fatalf("%s/%s: promote pass presence disagrees with config", p.Name, c.Analysis)
+			}
+			if c.Exec.Engine != "flat" || !c.Exec.FrontendReused || c.Exec.DurationNS <= 0 {
+				t.Fatalf("%s/%s: execution telemetry incomplete: %+v", p.Name, c.Analysis, c.Exec)
 			}
 		}
 	}

@@ -47,6 +47,12 @@ type Execution struct {
 	Output string
 	Exit   int64
 	Err    error
+	// Counts are the dynamic execution counters. They differ across
+	// configurations by design (that difference is the paper's
+	// result), so the cross-configuration comparison ignores them —
+	// but across engines on the same compilation they must be
+	// byte-identical, and the both-engines mode enforces that.
+	Counts interp.Counts
 }
 
 // Behaviour renders the outcome as a comparable string: diverging
@@ -88,36 +94,79 @@ func (r *Result) Divergence() string {
 func (r *Result) Diverged() bool { return r.Divergence() != "" }
 
 // DiffSource compiles and executes src under every configuration of
-// the matrix.
+// the matrix, on the default (flat) engine.
 func DiffSource(filename, src string, matrix []driver.NamedConfig) *Result {
+	return DiffSourceEngines(filename, src, matrix, false)
+}
+
+// DiffSourceEngines is DiffSource with the engine dimension exposed.
+// The front end runs once; every configuration's pipeline is forked
+// from the shared artifact (compile-once sharing). With bothEngines
+// set, each compilation additionally executes on the reference switch
+// engine, and any flat-vs-switch disagreement — output, exit code,
+// dynamic counts, or error text — is reported as a divergence on that
+// configuration.
+func DiffSourceEngines(filename, src string, matrix []driver.NamedConfig, bothEngines bool) *Result {
 	r := &Result{Source: src}
+	fe, feErr := driver.ParseSource(filename, src)
 	for _, nc := range matrix {
-		r.Execs = append(r.Execs, runOne(filename, src, nc))
+		if feErr != nil {
+			// A front-end failure hits every configuration identically,
+			// exactly as per-configuration recompiles would see it.
+			r.Execs = append(r.Execs, Execution{Config: nc, Err: fmt.Errorf("compile: %w", feErr)})
+			continue
+		}
+		r.Execs = append(r.Execs, runOne(fe, nc, bothEngines))
 	}
 	return r
 }
 
 // DiffSeed generates the seed's program and diffs it.
 func DiffSeed(seed int64, matrix []driver.NamedConfig) *Result {
-	r := DiffSource(fmt.Sprintf("seed%d.c", seed), testgen.Program(seed), matrix)
+	return DiffSeedEngines(seed, matrix, false)
+}
+
+// DiffSeedEngines generates the seed's program and diffs it, with the
+// both-engines cross-check when requested.
+func DiffSeedEngines(seed int64, matrix []driver.NamedConfig, bothEngines bool) *Result {
+	r := DiffSourceEngines(fmt.Sprintf("seed%d.c", seed), testgen.Program(seed), matrix, bothEngines)
 	r.Seed = seed
 	return r
 }
 
-func runOne(filename, src string, nc driver.NamedConfig) Execution {
+func runOne(fe *driver.Frontend, nc driver.NamedConfig, bothEngines bool) Execution {
 	e := Execution{Config: nc}
-	c, err := driver.CompileSource(filename, src, nc.Config)
+	c, err := fe.Compile(nc.Config, nil)
 	if err != nil {
 		e.Err = fmt.Errorf("compile: %w", err)
 		return e
 	}
-	res, err := c.Execute(interp.Options{MaxSteps: MaxSteps})
-	if err != nil {
-		e.Err = fmt.Errorf("execute: %w", err)
+	res, rerr := c.Execute(interp.Options{MaxSteps: MaxSteps, Engine: interp.EngineFlat})
+	if rerr != nil {
+		e.Err = fmt.Errorf("execute: %w", rerr)
+	} else {
+		e.Output = res.Output
+		e.Exit = res.Exit
+		e.Counts = res.Counts
+	}
+	if !bothEngines {
 		return e
 	}
-	e.Output = res.Output
-	e.Exit = res.Exit
+	sres, serr := c.Execute(interp.Options{MaxSteps: MaxSteps, Engine: interp.EngineSwitch})
+	switch {
+	case rerr != nil && serr != nil:
+		// Both engines failed: the error text must match exactly, or
+		// the engines disagree about how the program goes wrong.
+		if rerr.Error() != serr.Error() {
+			e.Err = fmt.Errorf("engine divergence: flat error %q, switch error %q", rerr, serr)
+		}
+	case rerr != nil || serr != nil:
+		e.Err = fmt.Errorf("engine divergence: flat err=%v, switch err=%v", rerr, serr)
+	case res.Output != sres.Output || res.Exit != sres.Exit || res.Counts != sres.Counts:
+		e.Err = fmt.Errorf(
+			"engine divergence: flat exit=%d counts=%+v output=%q; switch exit=%d counts=%+v output=%q",
+			res.Exit, res.Counts, res.Output, sres.Exit, sres.Counts, sres.Output)
+	}
 	return e
 }
 
@@ -146,6 +195,10 @@ type FuzzOptions struct {
 	Parallel int
 	// Short trims the configuration matrix for smoke runs.
 	Short bool
+	// BothEngines executes every compilation on both interpreter
+	// engines (flat and the switch reference) and reports any
+	// disagreement — counts included — as a divergence.
+	BothEngines bool
 	// Reduce shrinks each failing program before reporting it.
 	Reduce bool
 	// CorpusDir, when non-empty, receives a failure artifact per
@@ -174,7 +227,7 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 	report := &FuzzReport{Seeds: opts.Seeds, Matrix: matrix}
 	fails, err := bench.ParallelMap(int(opts.Seeds), opts.Parallel, func(i int) (*Failure, error) {
 		seed := opts.Start + int64(i)
-		r := DiffSeed(seed, matrix)
+		r := DiffSeedEngines(seed, matrix, opts.BothEngines)
 		div := r.Divergence()
 		if opts.Progress != nil {
 			opts.Progress(seed, div != "")
@@ -185,7 +238,7 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 		f := &Failure{Seed: seed, Divergence: div, Reduced: r.Source, Units: testgen.Units(seed)}
 		if opts.Reduce {
 			f.Reduced, f.Units = Reduce(seed, func(src string) bool {
-				return DiffSource(fmt.Sprintf("seed%d.c", seed), src, matrix).Diverged()
+				return DiffSourceEngines(fmt.Sprintf("seed%d.c", seed), src, matrix, opts.BothEngines).Diverged()
 			})
 		}
 		if opts.CorpusDir != "" {

@@ -19,9 +19,6 @@ import (
 	"regpromo/internal/analysis/modref"
 	"regpromo/internal/analysis/pointsto"
 	"regpromo/internal/callgraph"
-	"regpromo/internal/cc/irgen"
-	"regpromo/internal/cc/parser"
-	"regpromo/internal/cc/sema"
 	"regpromo/internal/interp"
 	"regpromo/internal/ir"
 	"regpromo/internal/obs"
@@ -93,6 +90,15 @@ type Compilation struct {
 	Module  *ir.Module
 	Promote promote.Stats
 	Alloc   regalloc.Stats
+
+	// progs caches the module's flat-code lowering ([0] without
+	// profiling markers, [1] with) so repeated executions of one
+	// compilation — a benchmark matrix, a fuzz seed under several
+	// engines — pay for lowering once. The cache is never invalidated:
+	// a Compilation's module is not mutated after the pipeline
+	// finishes. Not safe for concurrent Execute calls on one
+	// Compilation; concurrent callers hold distinct Compilations.
+	progs [2]*interp.Program
 }
 
 // pass is one named stage of the pipeline. run returns the pass's
@@ -243,37 +249,23 @@ func CompileSource(filename, src string, cfg Config) (*Compilation, error) {
 // in which case no telemetry is recorded (identical to CompileSource).
 // Every pass — including the front end, reported as "frontend" — is
 // timed and bracketed with static IR snapshots on the observer.
+//
+// To compile one source under several configurations, run the front
+// end once with ParseSource and fork each pipeline with
+// Frontend.Compile instead.
 func Compile(filename, src string, cfg Config, pipe *obs.Pipeline) (*Compilation, error) {
-	c := &Compilation{}
-	err := pipe.Observe(PassFrontend, nil, func() (map[string]int64, error) {
-		file, err := parser.Parse(filename, src)
-		if err != nil {
-			return nil, err
-		}
-		prog, err := sema.Check(file)
-		if err != nil {
-			return nil, err
-		}
-		m, err := irgen.Generate(prog)
-		if err != nil {
-			return nil, err
-		}
-		c.Module = m
-		return nil, nil
-	})
+	fe, err := ParseSourceObserved(filename, src, pipe)
 	if err != nil {
 		return nil, err
 	}
-	// The frontend event's snapshots were both taken against a nil
-	// module; patch the after-side so the trajectory starts at the
-	// generated IL rather than zero.
-	if ev := pipe.Event(PassFrontend); ev != nil {
-		ev.After = obs.Measure(c.Module)
-		if pipe.DumpPass == obs.DumpAll || pipe.DumpPass == PassFrontend {
-			ev.IRDump = ir.FormatModule(c.Module)
-		}
-	}
+	// Single-use compile: the pipeline owns the module outright, so no
+	// clone is forked.
+	c := &Compilation{Module: fe.module}
+	return compilePasses(c, cfg, pipe)
+}
 
+// compilePasses runs cfg's pass list over c.Module under the observer.
+func compilePasses(c *Compilation, cfg Config, pipe *obs.Pipeline) (*Compilation, error) {
 	s := &pipeState{cfg: cfg, c: c}
 	for _, p := range cfg.passes() {
 		run := p.run
@@ -287,8 +279,20 @@ func Compile(filename, src string, cfg Config, pipe *obs.Pipeline) (*Compilation
 }
 
 // Execute runs a compiled program in the instrumented interpreter.
+// Flat-engine runs lower the module to flat code on first use and
+// reuse the lowering afterwards.
 func (c *Compilation) Execute(opts interp.Options) (*interp.Result, error) {
-	return interp.Run(c.Module, opts)
+	if opts.Engine == interp.EngineSwitch {
+		return interp.Run(c.Module, opts)
+	}
+	idx := 0
+	if opts.Profile {
+		idx = 1
+	}
+	if c.progs[idx] == nil {
+		c.progs[idx] = interp.Flatten(c.Module, opts.Profile)
+	}
+	return c.progs[idx].Run(opts)
 }
 
 // Configurations returns the paper's four measurement configurations

@@ -1,0 +1,109 @@
+package driver
+
+import (
+	"sync/atomic"
+
+	"regpromo/internal/cc/irgen"
+	"regpromo/internal/cc/parser"
+	"regpromo/internal/cc/sema"
+	"regpromo/internal/ir"
+	"regpromo/internal/obs"
+)
+
+// Frontend is a reusable front-end artifact: one source file parsed,
+// type-checked, and lowered to IL exactly once. Every measurement
+// matrix in this repository compiles the same program under several
+// configurations; forking each pipeline from a module clone instead of
+// re-running the front end per configuration removes the redundant
+// parse+sema+irgen work from the measurement loop entirely
+// (compile-once sharing).
+//
+// A Frontend is immutable after construction: Compile hands every
+// configuration its own deep copy of the module, so concurrent and
+// sequential forks can never disturb each other.
+type Frontend struct {
+	// Filename is the name the source was parsed under.
+	Filename string
+
+	module *ir.Module
+	clones atomic.Int64
+}
+
+// PassFrontendReuse is the observer's name for the fork-from-artifact
+// stage that replaces a repeated front-end run under compile-once
+// sharing. Its event carries Extra{"reused": 1, "clones": n}.
+const PassFrontendReuse = "frontend.reuse"
+
+// ParseSource runs the front end once and returns the reusable
+// artifact.
+func ParseSource(filename, src string) (*Frontend, error) {
+	return ParseSourceObserved(filename, src, nil)
+}
+
+// ParseSourceObserved is ParseSource under an observer: the front end
+// is timed and reported as the "frontend" pass, exactly as a full
+// Compile would report it. pipe may be nil.
+func ParseSourceObserved(filename, src string, pipe *obs.Pipeline) (*Frontend, error) {
+	fe := &Frontend{Filename: filename}
+	err := pipe.Observe(PassFrontend, nil, func() (map[string]int64, error) {
+		file, err := parser.Parse(filename, src)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := sema.Check(file)
+		if err != nil {
+			return nil, err
+		}
+		m, err := irgen.Generate(prog)
+		if err != nil {
+			return nil, err
+		}
+		fe.module = m
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	patchEvent(pipe, PassFrontend, fe.module)
+	return fe, nil
+}
+
+// NewModule forks a fresh deep copy of the artifact's module for one
+// pipeline to own and mutate.
+func (fe *Frontend) NewModule() *ir.Module {
+	fe.clones.Add(1)
+	return fe.module.Clone()
+}
+
+// Clones reports how many pipelines have been forked from this
+// artifact so far.
+func (fe *Frontend) Clones() int64 { return fe.clones.Load() }
+
+// Compile forks a pipeline from the artifact: the module is cloned
+// (reported to the observer as "frontend.reuse" — the stage that
+// replaces a repeated front-end run) and the configuration's pass list
+// runs over the clone. Safe to call concurrently.
+func (fe *Frontend) Compile(cfg Config, pipe *obs.Pipeline) (*Compilation, error) {
+	c := &Compilation{}
+	err := pipe.Observe(PassFrontendReuse, nil, func() (map[string]int64, error) {
+		c.Module = fe.NewModule()
+		return map[string]int64{"reused": 1, "clones": fe.Clones()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	patchEvent(pipe, PassFrontendReuse, c.Module)
+	return compilePasses(c, cfg, pipe)
+}
+
+// patchEvent fixes up an event observed against a nil module (the
+// module did not exist before the stage ran): the after-side snapshot
+// and, when requested, the IL dump are taken against the result.
+func patchEvent(pipe *obs.Pipeline, name string, m *ir.Module) {
+	if ev := pipe.Event(name); ev != nil {
+		ev.After = obs.Measure(m)
+		if pipe.DumpPass == obs.DumpAll || pipe.DumpPass == name {
+			ev.IRDump = ir.FormatModule(m)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package interp_test
+
+// Benchmarks for the measurement loop itself: engine dispatch speed
+// (flat vs switch), the end-to-end figure suite, and compile-once
+// sharing. The package is interp_test so the harness can drive the
+// interpreter through the real driver and benchmark suite without an
+// import cycle.
+//
+// Run with:
+//
+//	go test ./internal/interp/ -bench=. -benchtime=2s
+//
+// BenchmarkFlatVsSwitch reports interp-ops/sec per engine; the flat
+// engine's acceptance bar is ≥2× the switch engine's.
+
+import (
+	"testing"
+
+	"regpromo/internal/bench"
+	"regpromo/internal/driver"
+	"regpromo/internal/interp"
+)
+
+// compileProgram compiles one suite member under the paper's full
+// promote-pointer pipeline, the configuration the figures measure.
+func compileProgram(b *testing.B, name string) *driver.Compilation {
+	b.Helper()
+	for _, p := range bench.Suite() {
+		if p.Name != name {
+			continue
+		}
+		c, err := driver.CompileSource(p.Name+".c", bench.Source(p), driver.Config{
+			Analysis: driver.PointsTo, Promote: true, PointerPromote: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	b.Fatalf("no suite program %q", name)
+	return nil
+}
+
+// runEngine executes a precompiled program b.N times on one engine and
+// reports throughput as interpreted IL operations per second.
+func runEngine(b *testing.B, c *driver.Compilation, engine interp.Engine) {
+	b.Helper()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		res, err := c.Execute(interp.Options{MaxSteps: 1 << 33, Engine: engine})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += res.Counts.Ops
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(ops)/secs, "interp-ops/sec")
+	}
+}
+
+// BenchmarkFlatVsSwitch races the two engines over the same compiled
+// program. Compilation happens once, outside the timer: this measures
+// pure dispatch speed. The programs are the suite's memory-bound
+// members — the workloads register promotion studies, and the ones
+// that dominate the measurement loop's wall clock. See
+// BenchmarkEngineMatrix for the full suite, including the ALU-dense
+// programs where the promoted code's huge basic blocks narrow the
+// gap between the engines.
+func BenchmarkFlatVsSwitch(b *testing.B) {
+	for _, name := range []string{"mlink", "water", "li", "indent"} {
+		c := compileProgram(b, name)
+		b.Run(name+"/flat", func(b *testing.B) { runEngine(b, c, interp.EngineFlat) })
+		b.Run(name+"/switch", func(b *testing.B) { runEngine(b, c, interp.EngineSwitch) })
+	}
+}
+
+// BenchmarkEngineMatrix runs every suite program on both engines —
+// the honest full table behind BenchmarkFlatVsSwitch's headline.
+func BenchmarkEngineMatrix(b *testing.B) {
+	for _, p := range bench.Suite() {
+		c := compileProgram(b, p.Name)
+		b.Run(p.Name+"/flat", func(b *testing.B) { runEngine(b, c, interp.EngineFlat) })
+		b.Run(p.Name+"/switch", func(b *testing.B) { runEngine(b, c, interp.EngineSwitch) })
+	}
+}
+
+// BenchmarkInterpFigureSuite executes every suite program (compiled
+// once, outside the timer) on the default engine per iteration — the
+// execution half of a full figure regeneration.
+func BenchmarkInterpFigureSuite(b *testing.B) {
+	var compiled []*driver.Compilation
+	for _, p := range bench.Suite() {
+		compiled = append(compiled, compileProgram(b, p.Name))
+	}
+	b.ResetTimer()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		for _, c := range compiled {
+			res, err := c.Execute(interp.Options{MaxSteps: 1 << 33})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops += res.Counts.Ops
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(ops)/secs, "interp-ops/sec")
+	}
+}
+
+// BenchmarkCompileOnceSharing compares the two ways to compile one
+// program under the paper's four measurement configurations: a full
+// recompile (front end × 4) against one parse forked four ways — the
+// compile half of the measurement loop, before and after sharing.
+func BenchmarkCompileOnceSharing(b *testing.B) {
+	p := bench.Suite()[0] // tsp
+	src := bench.Source(p)
+	b.Run("recompile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range driver.Configurations() {
+				if _, err := driver.CompileSource(p.Name+".c", src, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fe, err := driver.ParseSource(p.Name+".c", src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cfg := range driver.Configurations() {
+				if _, err := fe.Compile(cfg, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -11,9 +11,10 @@ import (
 // call executes fn with the given arguments and returns its result.
 func (m *machine) call(fn *ir.Func, args []int64) (int64, error) {
 	layout := m.layoutOf(fn)
-	if m.sp+layout.size > stackBase+int64(len(m.stack)) {
+	if m.sp+layout.size > stackBase+stackSize {
 		return 0, &Error{Func: fn.Name, Msg: "stack overflow"}
 	}
+	m.ensureStack(m.sp + layout.size - stackBase)
 	f := &frame{
 		fn:   fn,
 		regs: make([]int64, fn.NumRegs),
@@ -21,9 +22,11 @@ func (m *machine) call(fn *ir.Func, args []int64) (int64, error) {
 		size: layout.size,
 	}
 	// Zero the frame so uninitialized locals read deterministically.
-	lo := f.base - stackBase
-	for i := lo; i < lo+layout.size; i++ {
-		m.stack[i] = 0
+	// Spill-only frames are skipped: the allocator stores every spill
+	// slot before any load of it, so stale bytes are unobservable.
+	if layout.needsZero {
+		lo := f.base - stackBase
+		clear(m.stack[lo : lo+layout.size])
 	}
 	m.sp += layout.size
 	m.frames = append(m.frames, f)

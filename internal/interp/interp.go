@@ -45,6 +45,40 @@ type Counts struct {
 	Calls int64 `json:"calls"`
 }
 
+// Engine selects the execution engine.
+type Engine int
+
+const (
+	// EngineFlat is the default: the module is lowered once into a
+	// contiguous flat-code array with pre-resolved operands (branch
+	// targets as instruction indices, call targets as function
+	// indices, frame offsets and global addresses baked into each
+	// memory operation) and dispatched with a function-local pc.
+	EngineFlat Engine = iota
+	// EngineSwitch is the original block-walking reference engine.
+	// It produces bit-identical counts, profiles, and behaviour, and
+	// stays as the built-in differential oracle for the flat engine.
+	EngineSwitch
+)
+
+func (e Engine) String() string {
+	if e == EngineSwitch {
+		return "switch"
+	}
+	return "flat"
+}
+
+// ParseEngine resolves an engine name ("flat" or "switch").
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "flat":
+		return EngineFlat, nil
+	case "switch":
+		return EngineSwitch, nil
+	}
+	return EngineFlat, fmt.Errorf("unknown engine %q (want flat or switch)", s)
+}
+
 // Options configure an execution.
 type Options struct {
 	// MaxSteps bounds execution; 0 means the default (2^31).
@@ -59,6 +93,9 @@ type Options struct {
 	// owning the resolved address, which costs an ownership lookup
 	// per access — leave this off for plain measurements.
 	Profile bool
+	// Engine selects the execution engine; the zero value is the
+	// flat-code engine.
+	Engine Engine
 }
 
 // Result is the outcome of an execution.
@@ -96,7 +133,11 @@ type machine struct {
 	// heapOwner records allocation-site ownership of heap ranges.
 	heapOwner []ownerRange
 
-	layouts map[string]*frameLayout
+	// layouts caches frame layouts per function. The key is the
+	// function pointer, not its name: pointer hashing is cheaper than
+	// string hashing on every call, and two modules reusing a name
+	// can never collide.
+	layouts map[*ir.Func]*frameLayout
 
 	sp      int64 // next free stack address
 	heapTop int64
@@ -105,6 +146,18 @@ type machine struct {
 	steps  int64
 	max    int64
 	out    strings.Builder
+
+	// regArena is the flat engine's register allocator: each call
+	// slices its register file out of this arena instead of calling
+	// make, and returns it on exit. Growth replaces the backing
+	// array; outstanding frames keep their own (still valid) slices.
+	regArena []int64
+	regTop   int
+	// argScratch is a reusable buffer for intrinsic-call arguments.
+	argScratch []int64
+	// framePool recycles frame objects popped by the flat engine's
+	// threaded returns, so steady-state calls allocate nothing.
+	framePool []*frame
 
 	// prof records hot-spot data when profiling is enabled; nil
 	// otherwise.
@@ -129,24 +182,112 @@ type frame struct {
 type frameLayout struct {
 	offsets map[ir.TagID]int64
 	size    int64
+	// needsZero is false when every slot in the frame is a
+	// register-allocator spill slot. The spiller stores a slot before
+	// any load of it by construction, so such frames are fully
+	// stored-before-loaded and need no entry zeroing.
+	needsZero bool
 }
 
-// Run executes the module's main function.
+// computeLayout lays out fn's frame. Shared by the machine's cache and
+// the flat-code compiler so both always agree on offsets.
+func computeLayout(mod *ir.Module, fn *ir.Func) *frameLayout {
+	l := &frameLayout{offsets: make(map[ir.TagID]int64, len(fn.Locals))}
+	for _, tid := range fn.Locals {
+		tag := mod.Tags.Get(tid)
+		l.size = align8(l.size)
+		l.offsets[tid] = l.size
+		l.size += int64(max(tag.Size, 1))
+		if tag.Kind != ir.TagSpill {
+			l.needsZero = true
+		}
+	}
+	l.size = align8(l.size)
+	return l
+}
+
+// Run executes the module's main function under the selected engine.
 func Run(mod *ir.Module, opts Options) (*Result, error) {
+	if opts.Engine == EngineSwitch {
+		return runSwitch(mod, opts)
+	}
+	return Flatten(mod, opts.Profile).Run(opts)
+}
+
+// runSwitch executes main on the block-walking reference engine.
+func runSwitch(mod *ir.Module, opts Options) (*Result, error) {
 	mainFn, ok := mod.Funcs["main"]
 	if !ok {
 		return nil, &Error{Func: "main", Msg: "no main function"}
 	}
+	m := newMachine(mod, opts)
+	exit, err := m.call(mainFn, nil)
+	if err != nil {
+		return nil, err
+	}
+	return m.result(exit), nil
+}
+
+// execImage is the precomputed load-time image of a module: the
+// global memory layout, ownership ranges, and the initialized global
+// bytes. Building it walks the whole tag table and applies every
+// initializer — for a short-running program that can cost more than
+// the execution itself — so the flat engine computes it once per
+// Program and every run just copies the initialized bytes.
+type execImage struct {
+	globalAddr  map[ir.TagID]int64
+	globalOwner []ownerRange
+	// globals is the initialized global region template; each machine
+	// copies it so runs cannot observe each other's writes.
+	globals []byte
+}
+
+// buildImage lays out and initializes the module's global region.
+func buildImage(mod *ir.Module) *execImage {
+	img := &execImage{}
+	addrs, end := globalAddrs(mod)
+	img.globalAddr = addrs
+	for _, tag := range mod.Tags.All() {
+		if tag.Kind != ir.TagGlobal {
+			continue
+		}
+		addr := addrs[tag.ID]
+		img.globalOwner = append(img.globalOwner, ownerRange{addr, addr + int64(max(tag.Size, 1)), tag.ID})
+	}
+	img.globals = make([]byte, end-globalBase)
+	for _, init := range mod.Inits {
+		base := addrs[init.Tag] - globalBase
+		copy(img.globals[base:], init.Data)
+		for _, rel := range init.Relocs {
+			target := addrs[rel.Target] + rel.Addend
+			binary.LittleEndian.PutUint64(img.globals[base+int64(rel.Offset):], uint64(target))
+		}
+	}
+	return img
+}
+
+// newMachine builds the execution state shared by both engines,
+// computing the module's load image from scratch.
+func newMachine(mod *ir.Module, opts Options) *machine {
+	return newMachineImage(mod, opts, buildImage(mod))
+}
+
+// newMachineImage builds execution state from a precomputed image.
+// The address map and ownership ranges are shared read-only; the
+// global bytes are copied. The stack region is committed lazily
+// (ensureStack), so construction costs O(globals), not O(stack).
+func newMachineImage(mod *ir.Module, opts Options, img *execImage) *machine {
 	m := &machine{
-		mod:        mod,
-		opts:       opts,
-		stack:      make([]byte, stackSize),
-		heap:       make([]byte, 0),
-		globalAddr: make(map[ir.TagID]int64),
-		layouts:    make(map[string]*frameLayout),
-		sp:         stackBase,
-		heapTop:    heapBase,
-		max:        opts.MaxSteps,
+		mod:         mod,
+		opts:        opts,
+		globals:     append([]byte(nil), img.globals...),
+		heap:        make([]byte, 0),
+		globalAddr:  img.globalAddr,
+		globalOwner: img.globalOwner,
+		layouts:     make(map[*ir.Func]*frameLayout),
+		sp:          stackBase,
+		heapTop:     heapBase,
+		max:         opts.MaxSteps,
 	}
 	if m.max == 0 {
 		m.max = 1 << 31
@@ -154,39 +295,56 @@ func Run(mod *ir.Module, opts Options) (*Result, error) {
 	if opts.Profile {
 		m.prof = newProfiler(mod)
 	}
-	m.layoutGlobals()
-
-	exit, err := m.call(mainFn, nil)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Counts: m.counts, Exit: exit, Output: m.out.String()}
-	if m.prof != nil {
-		res.Profile = m.prof.result(mod)
-	}
-	return res, nil
+	return m
 }
 
-func (m *machine) layoutGlobals() {
+// ensureStack commits the stack region through need bytes. The region
+// is logically stackSize bytes of zeroes; committing it lazily keeps
+// machine construction cheap when one program runs many times. Both
+// engines commit at frame push with identical frame sizes, so the
+// committed prefix — and therefore which wild stack addresses fault in
+// mem — evolves identically under either engine.
+func (m *machine) ensureStack(need int64) {
+	if need <= int64(len(m.stack)) {
+		return
+	}
+	sz := int64(64 << 10)
+	for sz < need {
+		sz *= 2
+	}
+	if sz > stackSize {
+		sz = stackSize
+	}
+	grown := make([]byte, sz)
+	copy(grown, m.stack)
+	m.stack = grown
+}
+
+// result assembles the final Result after a successful run.
+func (m *machine) result(exit int64) *Result {
+	res := &Result{Counts: m.counts, Exit: exit, Output: m.out.String()}
+	if m.prof != nil {
+		res.Profile = m.prof.result(m.mod)
+	}
+	return res
+}
+
+// globalAddrs computes the global memory layout: every global tag's
+// absolute address, plus the end address of the region. Shared by the
+// machine loader and the flat-code compiler so the pre-resolved
+// addresses baked into flat code always match the loaded layout.
+func globalAddrs(mod *ir.Module) (map[ir.TagID]int64, int64) {
+	addrs := make(map[ir.TagID]int64)
 	addr := int64(globalBase)
-	for _, tag := range m.mod.Tags.All() {
+	for _, tag := range mod.Tags.All() {
 		if tag.Kind != ir.TagGlobal {
 			continue
 		}
 		addr = align8(addr)
-		m.globalAddr[tag.ID] = addr
-		m.globalOwner = append(m.globalOwner, ownerRange{addr, addr + int64(max(tag.Size, 1)), tag.ID})
+		addrs[tag.ID] = addr
 		addr += int64(max(tag.Size, 1))
 	}
-	m.globals = make([]byte, addr-globalBase)
-	for _, init := range m.mod.Inits {
-		base := m.globalAddr[init.Tag] - globalBase
-		copy(m.globals[base:], init.Data)
-		for _, rel := range init.Relocs {
-			target := m.globalAddr[rel.Target] + rel.Addend
-			binary.LittleEndian.PutUint64(m.globals[base+int64(rel.Offset):], uint64(target))
-		}
-	}
+	return addrs, addr
 }
 
 func align8(a int64) int64 { return (a + 7) &^ 7 }
@@ -200,18 +358,11 @@ func max(a, b int) int {
 
 // layoutOf computes (and caches) the frame layout of fn.
 func (m *machine) layoutOf(fn *ir.Func) *frameLayout {
-	if l, ok := m.layouts[fn.Name]; ok {
+	if l, ok := m.layouts[fn]; ok {
 		return l
 	}
-	l := &frameLayout{offsets: make(map[ir.TagID]int64)}
-	for _, tid := range fn.Locals {
-		tag := m.mod.Tags.Get(tid)
-		l.size = align8(l.size)
-		l.offsets[tid] = l.size
-		l.size += int64(max(tag.Size, 1))
-	}
-	l.size = align8(l.size)
-	m.layouts[fn.Name] = l
+	l := computeLayout(m.mod, fn)
+	m.layouts[fn] = l
 	return l
 }
 

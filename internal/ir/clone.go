@@ -1,0 +1,86 @@
+package ir
+
+// Clone returns a deep copy of the module: functions, blocks,
+// instructions, the tag table, and global initializers are all
+// duplicated, so passes run on the clone never disturb the original.
+// This is what lets one front-end artifact fork many independent
+// pipeline configurations (compile-once sharing): parse and generate
+// IL once, then hand each configuration its own clone.
+//
+// TagSet values are shared between the copies — every TagSet operation
+// allocates a fresh backing slice, so sharing is safe by construction.
+func (m *Module) Clone() *Module {
+	out := &Module{
+		Funcs:          make(map[string]*Func, len(m.Funcs)),
+		FuncOrder:      append([]string(nil), m.FuncOrder...),
+		Tags:           m.Tags.Clone(),
+		AddressedFuncs: append([]string(nil), m.AddressedFuncs...),
+	}
+	if m.Inits != nil {
+		out.Inits = make([]GlobalInit, len(m.Inits))
+		for i, init := range m.Inits {
+			out.Inits[i] = GlobalInit{
+				Tag:    init.Tag,
+				Data:   append([]byte(nil), init.Data...),
+				Relocs: append([]Reloc(nil), init.Relocs...),
+			}
+		}
+	}
+	for _, name := range m.FuncOrder {
+		out.Funcs[name] = m.Funcs[name].Clone()
+	}
+	return out
+}
+
+// Clone returns a deep copy of the function. Blocks are duplicated and
+// their successor/predecessor edges remapped onto the copies.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:      f.Name,
+		Params:    append([]Reg(nil), f.Params...),
+		NumRegs:   f.NumRegs,
+		Locals:    append([]TagID(nil), f.Locals...),
+		HasVarRet: f.HasVarRet,
+		Allocated: f.Allocated,
+	}
+	bmap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Label: b.Label}
+		if len(b.Instrs) > 0 {
+			nb.Instrs = make([]Instr, len(b.Instrs))
+			for i := range b.Instrs {
+				nb.Instrs[i] = b.Instrs[i].Clone()
+			}
+		}
+		bmap[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	remap := func(bs []*Block) []*Block {
+		if bs == nil {
+			return nil
+		}
+		out := make([]*Block, len(bs))
+		for i, b := range bs {
+			out[i] = bmap[b]
+		}
+		return out
+	}
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		nb.Succs = remap(b.Succs)
+		nb.Preds = remap(b.Preds)
+	}
+	nf.Entry = bmap[f.Entry]
+	return nf
+}
+
+// Clone returns a deep copy of the table; the copies' tags can be
+// mutated (or extended with spill slots) independently.
+func (t *TagTable) Clone() TagTable {
+	tags := make([]*Tag, len(t.tags))
+	for i, tag := range t.tags {
+		c := *tag
+		tags[i] = &c
+	}
+	return TagTable{tags: tags}
+}

@@ -195,12 +195,15 @@ func (in *Instr) MayWriteMem() TagSet {
 	return TagSet{}
 }
 
-// Clone returns a deep copy of the instruction (Args are copied;
-// TagSets are immutable and shared).
+// Clone returns a deep copy of the instruction (Args and Targets are
+// copied; TagSets are immutable and shared).
 func (in *Instr) Clone() Instr {
 	out := *in
 	if in.Args != nil {
 		out.Args = append([]Reg(nil), in.Args...)
+	}
+	if in.Targets != nil {
+		out.Targets = append([]string(nil), in.Targets...)
 	}
 	return out
 }
