@@ -18,29 +18,44 @@ import (
 	"regpromo/internal/ir"
 )
 
-// Result holds the per-function analysis summaries.
+// Result holds the per-function analysis summaries. The tables are
+// dense slices indexed by the call graph's interned function ids; the
+// name-keyed accessors exist for tests and diagnostics.
 type Result struct {
-	// Mod and Ref are the interprocedural summary sets: everything
-	// the function or its callees may write / read.
-	Mod map[string]ir.TagSet
-	Ref map[string]ir.TagSet
+	cg *callgraph.Graph
 
-	// Visible is the set of tags a pointer-based memory operation
+	// mod and ref are the interprocedural summary sets: everything
+	// the function or its callees may write / read.
+	mod []ir.TagSet
+	ref []ir.TagSet
+
+	// visible is the set of tags a pointer-based memory operation
 	// appearing in the function may touch: every address-taken
 	// global, every heap site tag, and the address-taken locals of
 	// the function's call-graph ancestors (itself included).
-	Visible map[string]ir.TagSet
+	visible []ir.TagSet
 }
+
+// Mod returns the MOD summary of the named (defined) function.
+func (r *Result) Mod(fn string) ir.TagSet { return r.mod[r.cg.ID(fn)] }
+
+// Ref returns the REF summary of the named (defined) function.
+func (r *Result) Ref(fn string) ir.TagSet { return r.ref[r.cg.ID(fn)] }
+
+// Visible returns the visible-tag set of the named (defined) function.
+func (r *Result) Visible(fn string) ir.TagSet { return r.visible[r.cg.ID(fn)] }
 
 // Run performs the analysis on mod, rewriting the tag sets of
 // pointer-based operations and the Mods/Refs of calls in place. It is
 // idempotent and monotone: a second run (e.g. after points-to
 // analysis has shrunk pointer tag sets) only tightens information.
 func Run(m *ir.Module, cg *callgraph.Graph) *Result {
+	n := cg.NumFuncs()
 	r := &Result{
-		Mod:     make(map[string]ir.TagSet),
-		Ref:     make(map[string]ir.TagSet),
-		Visible: make(map[string]ir.TagSet),
+		cg:      cg,
+		mod:     make([]ir.TagSet, n),
+		ref:     make([]ir.TagSet, n),
+		visible: make([]ir.TagSet, n),
 	}
 
 	r.computeVisible(m, cg)
@@ -48,8 +63,8 @@ func Run(m *ir.Module, cg *callgraph.Graph) *Result {
 	demoteRecursiveLocals(m, cg)
 
 	// Direct (intraprocedural) effects, excluding calls.
-	directMod := make(map[string]ir.TagSet)
-	directRef := make(map[string]ir.TagSet)
+	directMod := make([]ir.TagSet, n)
+	directRef := make([]ir.TagSet, n)
 	for _, fn := range m.FuncsInOrder() {
 		var dm, dr ir.TagSet
 		for _, b := range fn.Blocks {
@@ -57,18 +72,19 @@ func Run(m *ir.Module, cg *callgraph.Graph) *Result {
 				in := &b.Instrs[i]
 				switch in.Op {
 				case ir.OpSStore:
-					dm = dm.With(in.Tag)
+					dm.Add(in.Tag)
 				case ir.OpPStore:
-					dm = dm.Union(in.Tags)
+					in.Tags.UnionInto(&dm)
 				case ir.OpSLoad, ir.OpCLoad:
-					dr = dr.With(in.Tag)
+					dr.Add(in.Tag)
 				case ir.OpPLoad:
-					dr = dr.Union(in.Tags)
+					in.Tags.UnionInto(&dr)
 				}
 			}
 		}
-		directMod[fn.Name] = dm
-		directRef[fn.Name] = dr
+		id := cg.ID(fn.Name)
+		directMod[id] = dm
+		directRef[id] = dr
 	}
 
 	// SCC summaries, callees first. Within an SCC all functions get
@@ -76,8 +92,8 @@ func Run(m *ir.Module, cg *callgraph.Graph) *Result {
 	for _, comp := range cg.SCCs {
 		var cm, cr ir.TagSet
 		for _, name := range comp {
-			cm = cm.Union(directMod[name])
-			cr = cr.Union(directRef[name])
+			directMod[cg.ID(name)].UnionInto(&cm)
+			directRef[cg.ID(name)].UnionInto(&cr)
 			fn := m.Funcs[name]
 			for _, b := range fn.Blocks {
 				for i := range b.Instrs {
@@ -85,15 +101,14 @@ func Run(m *ir.Module, cg *callgraph.Graph) *Result {
 					if in.Op != ir.OpJsr {
 						continue
 					}
-					em, er := r.calleeEffects(m, cg, name, in, comp)
-					cm = cm.Union(em)
-					cr = cr.Union(er)
+					r.addCalleeEffects(m, cg, name, in, comp, &cm, &cr)
 				}
 			}
 		}
 		for _, name := range comp {
-			r.Mod[name] = cm
-			r.Ref[name] = cr
+			id := cg.ID(name)
+			r.mod[id] = cm
+			r.ref[id] = cr
 		}
 	}
 
@@ -114,22 +129,22 @@ func Run(m *ir.Module, cg *callgraph.Graph) *Result {
 	return r
 }
 
-// computeVisible builds Visible per the paper's two rules: only
-// address-taken tags enter pointer tag sets, and a local is visible
-// only in descendants of its creator.
+// computeVisible builds the visible sets per the paper's two rules:
+// only address-taken tags enter pointer tag sets, and a local is
+// visible only in descendants of its creator.
 func (r *Result) computeVisible(m *ir.Module, cg *callgraph.Graph) {
 	// Base: address-taken globals and all heap site tags.
 	var base ir.TagSet
-	ownLocals := make(map[string]ir.TagSet)
+	ownLocals := make([]ir.TagSet, cg.NumFuncs())
 	for _, tag := range m.Tags.All() {
 		if !tag.AddrTaken {
 			continue
 		}
 		switch tag.Kind {
 		case ir.TagGlobal, ir.TagHeap:
-			base = base.With(tag.ID)
+			base.Add(tag.ID)
 		case ir.TagLocal:
-			ownLocals[tag.Func] = ownLocals[tag.Func].With(tag.ID)
+			ownLocals[cg.ID(tag.Func)].Add(tag.ID)
 		}
 	}
 
@@ -141,22 +156,22 @@ func (r *Result) computeVisible(m *ir.Module, cg *callgraph.Graph) {
 	own := make([]ir.TagSet, len(cg.SCCs))
 	for i, comp := range cg.SCCs {
 		for _, name := range comp {
-			own[i] = own[i].Union(ownLocals[name])
+			ownLocals[cg.ID(name)].UnionInto(&own[i])
 		}
 	}
 	for i := len(cg.SCCs) - 1; i >= 0; i-- {
-		anc[i] = anc[i].Union(own[i])
+		own[i].UnionInto(&anc[i])
 		for _, name := range cg.SCCs[i] {
 			for _, callee := range cg.Callees[name] {
 				j := cg.SCCOf(callee)
 				if j != i {
-					anc[j] = anc[j].Union(anc[i])
+					anc[i].UnionInto(&anc[j])
 				}
 			}
 		}
 	}
 	for _, fn := range m.FuncsInOrder() {
-		r.Visible[fn.Name] = base.Union(anc[cg.SCCOf(fn.Name)])
+		r.visible[cg.ID(fn.Name)] = base.Union(anc[cg.SCCOf(fn.Name)])
 	}
 }
 
@@ -164,7 +179,7 @@ func (r *Result) computeVisible(m *ir.Module, cg *callgraph.Graph) {
 // visible set and intersects already-refined sets with it.
 func limitPointerOps(m *ir.Module, r *Result) {
 	for _, fn := range m.FuncsInOrder() {
-		vis := r.Visible[fn.Name]
+		vis := r.visible[r.cg.ID(fn.Name)]
 		for _, b := range fn.Blocks {
 			for i := range b.Instrs {
 				in := &b.Instrs[i]
@@ -192,11 +207,11 @@ func demoteRecursiveLocals(m *ir.Module, cg *callgraph.Graph) {
 	}
 }
 
-// calleeEffects returns the contribution of one call instruction to
-// its caller's summary while the caller's SCC is being solved.
-// Members of the same SCC contribute nothing here (their direct
-// effects are already in the union being built).
-func (r *Result) calleeEffects(m *ir.Module, cg *callgraph.Graph, caller string, in *ir.Instr, comp []string) (ir.TagSet, ir.TagSet) {
+// addCalleeEffects accumulates the contribution of one call
+// instruction into its caller's in-progress SCC summary. Members of
+// the same SCC contribute nothing here (their direct effects are
+// already in the union being built).
+func (r *Result) addCalleeEffects(m *ir.Module, cg *callgraph.Graph, caller string, in *ir.Instr, comp []string, cm, cr *ir.TagSet) {
 	inComp := func(name string) bool {
 		for _, c := range comp {
 			if c == name {
@@ -205,26 +220,25 @@ func (r *Result) calleeEffects(m *ir.Module, cg *callgraph.Graph, caller string,
 		}
 		return false
 	}
-	var mods, refs ir.TagSet
 	add := func(name string) {
 		if inComp(name) {
 			return
 		}
 		if em, er, ok := r.resolved(m, cg, caller, name); ok {
-			mods = mods.Union(em)
-			refs = refs.Union(er)
+			em.UnionInto(cm)
+			er.UnionInto(cr)
 		} else {
-			mods, refs = ir.TopSet(), ir.TopSet()
+			ir.TopSet().UnionInto(cm)
+			ir.TopSet().UnionInto(cr)
 		}
 	}
 	if in.Callee != "" {
 		add(in.Callee)
-		return mods, refs
+		return
 	}
 	for _, t := range indirectTargets(m, in) {
 		add(t)
 	}
-	return mods, refs
 }
 
 // indirectTargets returns the possible callees of an indirect call:
@@ -263,8 +277,8 @@ func (r *Result) callSiteEffects(m *ir.Module, cg *callgraph.Graph, caller strin
 // summary for defined functions, the built-in model for intrinsics,
 // and ok=false for unknown externals.
 func (r *Result) resolved(m *ir.Module, cg *callgraph.Graph, caller, name string) (ir.TagSet, ir.TagSet, bool) {
-	if _, defined := m.Funcs[name]; defined {
-		return r.Mod[name], r.Ref[name], true
+	if id := cg.ID(name); id != callgraph.FuncInvalid {
+		return r.mod[id], r.ref[id], true
 	}
 	switch name {
 	case "print_int", "print_char", "print_double", "malloc", "free":
@@ -273,7 +287,7 @@ func (r *Result) resolved(m *ir.Module, cg *callgraph.Graph, caller, name string
 	case "print_str":
 		// Reads through its pointer argument: may reference anything
 		// a pointer in the caller may reach.
-		return ir.TagSet{}, r.Visible[caller], true
+		return ir.TagSet{}, r.visible[cg.ID(caller)], true
 	}
 	return ir.TagSet{}, ir.TagSet{}, false
 }

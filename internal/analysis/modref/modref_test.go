@@ -55,16 +55,16 @@ void caller(void) { writer(); }
 `)
 	gTag := tagByName(t, m, "g").ID
 	hTag := tagByName(t, m, "h").ID
-	if !r.Mod["writer"].Has(gTag) {
+	if !r.Mod("writer").Has(gTag) {
 		t.Fatal("writer must mod g")
 	}
-	if r.Mod["writer"].Has(hTag) {
+	if r.Mod("writer").Has(hTag) {
 		t.Fatal("writer must not mod h")
 	}
-	if !r.Mod["caller"].Has(gTag) {
+	if !r.Mod("caller").Has(gTag) {
 		t.Fatal("caller must inherit writer's mods")
 	}
-	if !r.Ref["reader"].Has(hTag) {
+	if !r.Ref("reader").Has(hTag) {
 		t.Fatal("reader must ref h")
 	}
 	// The call instruction in caller carries writer's summary.
@@ -189,10 +189,10 @@ int main(void) { run(seta); return a + b; }
 	bTag := tagByName(t, m, "b").ID
 	// seta is addressed; setb is not... but setb's address is never
 	// taken, so only seta is a possible target.
-	if !r.Mod["run"].Has(aTag) {
+	if !r.Mod("run").Has(aTag) {
 		t.Fatal("run may call seta, must mod a")
 	}
-	if r.Mod["run"].Has(bTag) {
+	if r.Mod("run").Has(bTag) {
 		t.Fatal("setb is not addressed; run must not mod b")
 	}
 }
@@ -232,10 +232,10 @@ int even(int n) { x = n; if (n == 0) return 1; return odd(n-1); }
 	xTag := tagByName(t, m, "x").ID
 	yTag := tagByName(t, m, "y").ID
 	_ = m
-	if !r.Mod["odd"].Equal(r.Mod["even"]) {
+	if !r.Mod("odd").Equal(r.Mod("even")) {
 		t.Fatal("SCC members must share summaries")
 	}
-	if !r.Mod["odd"].Has(xTag) || !r.Mod["odd"].Has(yTag) {
+	if !r.Mod("odd").Has(xTag) || !r.Mod("odd").Has(yTag) {
 		t.Fatal("summary must include both globals")
 	}
 }

@@ -20,14 +20,16 @@ import (
 	"sort"
 
 	"regpromo/internal/callgraph"
+	"regpromo/internal/dataflow"
 	"regpromo/internal/ir"
 )
 
 // Result maps analysis facts back to the program.
 type Result struct {
-	// RegTags gives, for function f and register r, the tags r may
-	// point to.
-	regs map[string][]node
+	cg *callgraph.Graph
+	// regs gives, per interned function id and register, the node
+	// holding what that register may point to.
+	regs [][]node
 	mod  *ir.Module
 	// mem gives the points-to set of the value stored in each tag.
 	mem []node
@@ -40,13 +42,14 @@ type node struct {
 	funcs map[string]bool
 }
 
+// unionTags grows the node's tag set in place (the node owns its
+// backing words; sets are never assigned across nodes).
 func (n *node) unionTags(t ir.TagSet) bool {
-	u := n.tags.Union(t)
-	if u.Equal(n.tags) {
-		return false
-	}
-	n.tags = u
-	return true
+	return t.UnionInto(&n.tags)
+}
+
+func (n *node) addTag(t ir.TagID) bool {
+	return n.tags.Add(t)
 }
 
 func (n *node) unionFuncs(fs map[string]bool) bool {
@@ -77,8 +80,12 @@ func (n *node) addFunc(f string) bool {
 // RegPointsTo returns the tag set register r of function fn may point
 // to.
 func (r *Result) RegPointsTo(fn string, reg ir.Reg) ir.TagSet {
-	ns := r.regs[fn]
-	if ns == nil || int(reg) >= len(ns) {
+	id := r.cg.ID(fn)
+	if id == callgraph.FuncInvalid {
+		return ir.TagSet{}
+	}
+	ns := r.regs[id]
+	if int(reg) >= len(ns) {
 		return ir.TagSet{}
 	}
 	return ns[reg].tags
@@ -91,37 +98,55 @@ func (r *Result) MemPointsTo(tag ir.TagID) ir.TagSet { return r.mem[tag].tags }
 // Run analyzes the module, then narrows the tag sets of pointer-based
 // memory operations and the target sets of indirect calls in place.
 func Run(m *ir.Module, cg *callgraph.Graph) *Result {
+	nf := cg.NumFuncs()
 	a := &analyzer{
 		mod: m,
+		cg:  cg,
 		res: &Result{
-			regs: make(map[string][]node),
+			cg:   cg,
+			regs: make([][]node, nf),
 			mod:  m,
 			mem:  make([]node, m.Tags.Len()),
 		},
-		rets: make(map[string]*node),
+		rets:       make([]node, nf),
+		memReaders: make([][]callgraph.FuncID, m.Tags.Len()),
+		memIsRdr:   make([][]bool, m.Tags.Len()),
+		retReaders: make([][]callgraph.FuncID, nf),
+		retIsRdr:   make([][]bool, nf),
 	}
 	for _, fn := range m.FuncsInOrder() {
-		a.res.regs[fn.Name] = make([]node, fn.NumRegs)
-		a.rets[fn.Name] = &node{}
+		a.res.regs[cg.ID(fn.Name)] = make([]node, fn.NumRegs)
 	}
 
 	// Seed: static initializers with relocations store addresses.
 	for _, init := range m.Inits {
 		for _, rel := range init.Relocs {
-			a.res.mem[init.Tag].unionTags(ir.NewTagSet(rel.Target))
+			a.res.mem[init.Tag].addTag(rel.Target)
 		}
 	}
 
-	// Iterate all transfer functions to a fixed point. Program sizes
-	// are modest; a full sweep per round keeps the logic transparent.
+	// Sparse transfer iteration: one worklist entry per function,
+	// draining in module order. A function re-fires only when one of
+	// its inputs grew — its own register nodes, a memory node it
+	// reads (readers are registered dynamically as pointer targets
+	// are discovered), or the return node of a callee. The
+	// constraints are inclusion-monotone, so this reaches the same
+	// least fixpoint as the old sweep-everything rounds.
+	rank := make([]int, nf)
+	for i := range rank {
+		rank[i] = i
+	}
+	a.w = dataflow.NewWorklist(rank)
+	funcs := m.FuncsInOrder()
+	for i := range funcs {
+		a.w.Push(i)
+	}
 	for {
-		a.changed = false
-		for _, fn := range m.FuncsInOrder() {
-			a.function(fn)
-		}
-		if !a.changed {
+		id, ok := a.w.Pop()
+		if !ok {
 			break
 		}
+		a.function(callgraph.FuncID(id), funcs[id])
 	}
 
 	a.narrow()
@@ -129,71 +154,128 @@ func Run(m *ir.Module, cg *callgraph.Graph) *Result {
 }
 
 type analyzer struct {
-	mod     *ir.Module
-	res     *Result
-	rets    map[string]*node
-	changed bool
+	mod *ir.Module
+	cg  *callgraph.Graph
+	res *Result
+	// rets holds one node per function for its returned value.
+	rets []node
+	w    *dataflow.Worklist
+
+	// memReaders / retReaders record which functions read each memory
+	// node / return node, so a write that grows a node re-queues
+	// exactly its readers.
+	memReaders [][]callgraph.FuncID
+	memIsRdr   [][]bool
+	retReaders [][]callgraph.FuncID
+	retIsRdr   [][]bool
 }
 
-func (a *analyzer) mark(b bool) {
-	if b {
-		a.changed = true
+func (a *analyzer) readMem(t ir.TagID, fid callgraph.FuncID) *node {
+	isRdr := a.memIsRdr[t]
+	if isRdr == nil {
+		isRdr = make([]bool, a.cg.NumFuncs())
+		a.memIsRdr[t] = isRdr
+	}
+	if !isRdr[fid] {
+		isRdr[fid] = true
+		a.memReaders[t] = append(a.memReaders[t], fid)
+	}
+	return &a.res.mem[t]
+}
+
+func (a *analyzer) readRet(callee, fid callgraph.FuncID) *node {
+	isRdr := a.retIsRdr[callee]
+	if isRdr == nil {
+		isRdr = make([]bool, a.cg.NumFuncs())
+		a.retIsRdr[callee] = isRdr
+	}
+	if !isRdr[fid] {
+		isRdr[fid] = true
+		a.retReaders[callee] = append(a.retReaders[callee], fid)
+	}
+	return &a.rets[callee]
+}
+
+// markSelf re-queues the function whose own register nodes grew.
+func (a *analyzer) markSelf(fid callgraph.FuncID, changed bool) {
+	if changed {
+		a.w.Push(int(fid))
 	}
 }
 
-func (a *analyzer) function(fn *ir.Func) {
-	regs := a.res.regs[fn.Name]
+// markMem re-queues the registered readers of memory node t.
+func (a *analyzer) markMem(t ir.TagID, changed bool) {
+	if changed {
+		for _, r := range a.memReaders[t] {
+			a.w.Push(int(r))
+		}
+	}
+}
+
+// markRet re-queues the registered readers of fid's return node.
+func (a *analyzer) markRet(fid callgraph.FuncID, changed bool) {
+	if changed {
+		for _, r := range a.retReaders[fid] {
+			a.w.Push(int(r))
+		}
+	}
+}
+
+func (a *analyzer) function(fid callgraph.FuncID, fn *ir.Func) {
+	regs := a.res.regs[fid]
 	for _, b := range fn.Blocks {
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			switch in.Op {
 			case ir.OpAddrOf:
 				if in.Callee != "" {
-					a.mark(regs[in.Dst].addFunc(in.Callee))
+					a.markSelf(fid, regs[in.Dst].addFunc(in.Callee))
 				} else {
-					a.mark(regs[in.Dst].unionTags(ir.NewTagSet(in.Tag)))
+					a.markSelf(fid, regs[in.Dst].addTag(in.Tag))
 				}
 
 			case ir.OpCopy:
-				a.mark(regs[in.Dst].unionTags(regs[in.A].tags))
-				a.mark(regs[in.Dst].unionFuncs(regs[in.A].funcs))
+				a.markSelf(fid, regs[in.Dst].unionTags(regs[in.A].tags))
+				a.markSelf(fid, regs[in.Dst].unionFuncs(regs[in.A].funcs))
 
 			case ir.OpAdd, ir.OpSub:
 				// Pointer arithmetic stays within the object; both
 				// operands may carry the pointer.
-				a.mark(regs[in.Dst].unionTags(regs[in.A].tags))
-				a.mark(regs[in.Dst].unionTags(regs[in.B].tags))
-				a.mark(regs[in.Dst].unionFuncs(regs[in.A].funcs))
-				a.mark(regs[in.Dst].unionFuncs(regs[in.B].funcs))
+				a.markSelf(fid, regs[in.Dst].unionTags(regs[in.A].tags))
+				a.markSelf(fid, regs[in.Dst].unionTags(regs[in.B].tags))
+				a.markSelf(fid, regs[in.Dst].unionFuncs(regs[in.A].funcs))
+				a.markSelf(fid, regs[in.Dst].unionFuncs(regs[in.B].funcs))
 
 			case ir.OpSLoad, ir.OpCLoad:
-				a.mark(regs[in.Dst].unionTags(a.res.mem[in.Tag].tags))
-				a.mark(regs[in.Dst].unionFuncs(a.res.mem[in.Tag].funcs))
+				mn := a.readMem(in.Tag, fid)
+				a.markSelf(fid, regs[in.Dst].unionTags(mn.tags))
+				a.markSelf(fid, regs[in.Dst].unionFuncs(mn.funcs))
 
 			case ir.OpSStore:
-				a.mark(a.res.mem[in.Tag].unionTags(regs[in.A].tags))
-				a.mark(a.res.mem[in.Tag].unionFuncs(regs[in.A].funcs))
+				a.markMem(in.Tag, a.res.mem[in.Tag].unionTags(regs[in.A].tags))
+				a.markMem(in.Tag, a.res.mem[in.Tag].unionFuncs(regs[in.A].funcs))
 
 			case ir.OpPLoad:
 				for _, t := range a.currentTargets(fn, in, regs) {
-					a.mark(regs[in.Dst].unionTags(a.res.mem[t].tags))
-					a.mark(regs[in.Dst].unionFuncs(a.res.mem[t].funcs))
+					mn := a.readMem(t, fid)
+					a.markSelf(fid, regs[in.Dst].unionTags(mn.tags))
+					a.markSelf(fid, regs[in.Dst].unionFuncs(mn.funcs))
 				}
 
 			case ir.OpPStore:
 				for _, t := range a.currentTargets(fn, in, regs) {
-					a.mark(a.res.mem[t].unionTags(regs[in.B].tags))
-					a.mark(a.res.mem[t].unionFuncs(regs[in.B].funcs))
+					a.markMem(t, a.res.mem[t].unionTags(regs[in.B].tags))
+					a.markMem(t, a.res.mem[t].unionFuncs(regs[in.B].funcs))
 				}
 
 			case ir.OpJsr:
-				a.call(fn, in, regs)
+				a.call(fid, fn, in, regs)
 
 			case ir.OpRet:
 				if in.HasValue && in.A != ir.RegInvalid {
-					rn := a.rets[fn.Name]
-					a.mark(rn.unionTags(regs[in.A].tags))
-					a.mark(rn.unionFuncs(regs[in.A].funcs))
+					rn := &a.rets[fid]
+					a.markRet(fid, rn.unionTags(regs[in.A].tags))
+					a.markRet(fid, rn.unionFuncs(regs[in.A].funcs))
 				}
 			}
 		}
@@ -223,7 +305,7 @@ func (a *analyzer) currentTargets(fn *ir.Func, in *ir.Instr, regs []node) []ir.T
 	return pts.IDs()
 }
 
-func (a *analyzer) call(fn *ir.Func, in *ir.Instr, regs []node) {
+func (a *analyzer) call(fid callgraph.FuncID, fn *ir.Func, in *ir.Instr, regs []node) {
 	var callees []string
 	if in.Callee != "" {
 		callees = []string{in.Callee}
@@ -243,29 +325,35 @@ func (a *analyzer) call(fn *ir.Func, in *ir.Instr, regs []node) {
 	for _, name := range callees {
 		callee, defined := a.mod.Funcs[name]
 		if !defined {
-			a.intrinsic(name, in, regs)
+			a.intrinsic(fid, name, in, regs)
 			continue
 		}
-		calleeRegs := a.res.regs[name]
+		cid := a.cg.ID(name)
+		calleeRegs := a.res.regs[cid]
 		for i, arg := range in.Args {
 			if i >= len(callee.Params) {
 				break
 			}
 			p := callee.Params[i]
-			a.mark(calleeRegs[p].unionTags(regs[arg].tags))
-			a.mark(calleeRegs[p].unionFuncs(regs[arg].funcs))
+			changed := calleeRegs[p].unionTags(regs[arg].tags)
+			if calleeRegs[p].unionFuncs(regs[arg].funcs) {
+				changed = true
+			}
+			if changed {
+				a.w.Push(int(cid))
+			}
 		}
 		if in.HasValue && in.Dst != ir.RegInvalid {
-			rn := a.rets[name]
-			a.mark(regs[in.Dst].unionTags(rn.tags))
-			a.mark(regs[in.Dst].unionFuncs(rn.funcs))
+			rn := a.readRet(cid, fid)
+			a.markSelf(fid, regs[in.Dst].unionTags(rn.tags))
+			a.markSelf(fid, regs[in.Dst].unionFuncs(rn.funcs))
 		}
 	}
 }
 
-func (a *analyzer) intrinsic(name string, in *ir.Instr, regs []node) {
+func (a *analyzer) intrinsic(fid callgraph.FuncID, name string, in *ir.Instr, regs []node) {
 	if name == "malloc" && in.Site != ir.TagInvalid && in.Dst != ir.RegInvalid {
-		a.mark(regs[in.Dst].unionTags(ir.NewTagSet(in.Site)))
+		a.markSelf(fid, regs[in.Dst].addTag(in.Site))
 	}
 }
 
@@ -275,7 +363,7 @@ func (a *analyzer) intrinsic(name string, in *ir.Instr, regs []node) {
 // targets.
 func (a *analyzer) narrow() {
 	for _, fn := range a.mod.FuncsInOrder() {
-		regs := a.res.regs[fn.Name]
+		regs := a.res.regs[a.cg.ID(fn.Name)]
 		for _, b := range fn.Blocks {
 			for i := range b.Instrs {
 				in := &b.Instrs[i]

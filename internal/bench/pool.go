@@ -1,88 +1,20 @@
 package bench
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "regpromo/internal/par"
 
-// This file is the repo's shared bounded worker pool. The benchmark
-// harness uses it to parallelize the measurement matrix (RunFigures,
-// CollectReport) and the differential tester (internal/difftest) uses
-// it to fan seeds out across CPUs; both need the same contract:
-// bounded concurrency, results in input order, fail-fast on error.
+// The shared bounded worker pool lives in internal/par so the driver
+// can use it without importing this package (bench imports driver);
+// these wrappers keep the original call sites — the benchmark matrix
+// here and the seed fan-out in internal/difftest — unchanged.
 
 // DefaultWorkers is the worker count used when a caller passes a
 // non-positive parallelism: one worker per available CPU.
-func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+func DefaultWorkers() int { return par.DefaultWorkers() }
 
 // ParallelMap runs fn over the work items 0..n-1 on at most workers
-// goroutines and returns the results in item order, so concurrent
-// callers observe exactly the output a serial loop would have
-// produced. workers <= 0 selects DefaultWorkers; workers == 1 runs
-// the items serially on the calling goroutine.
-//
-// The first error stops the pool from claiming new items (items
-// already in flight finish, their results discarded) and is returned;
-// among errors from in-flight items, the lowest-index one wins, so
-// single-worker and many-worker runs agree on which error surfaces
-// whenever only one item fails.
+// goroutines and returns the results in item order; see par.ParallelMap
+// for the full contract (bounded concurrency, input-order results,
+// fail-fast with the lowest-index error).
 func ParallelMap[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
-	if n <= 0 {
-		return nil, nil
-	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
-	results := make([]T, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			r, err := fn(i)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = r
-		}
-		return results, nil
-	}
-
-	var (
-		next    atomic.Int64 // next unclaimed item
-		failed  atomic.Bool  // stop claiming once any item errors
-		mu      sync.Mutex
-		firstI  int = n
-		firstEr error
-		wg      sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= n || failed.Load() {
-					return
-				}
-				r, err := fn(i)
-				if err != nil {
-					failed.Store(true)
-					mu.Lock()
-					if i < firstI {
-						firstI, firstEr = i, err
-					}
-					mu.Unlock()
-					return
-				}
-				results[i] = r
-			}
-		}()
-	}
-	wg.Wait()
-	if firstEr != nil {
-		return nil, firstEr
-	}
-	return results, nil
+	return par.ParallelMap(n, workers, fn)
 }

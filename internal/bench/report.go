@@ -15,8 +15,10 @@ import (
 )
 
 // SchemaVersion identifies the BENCH_*.json layout. Bump it when the
-// report shape changes incompatibly.
-const SchemaVersion = "regpromo-bench/1"
+// report shape changes incompatibly. regpromo-bench/2 added the
+// per-stage compile wall-time breakdown (ConfigReport.StageNS: wall
+// time by frontend / interprocedural analysis / per-function passes).
+const SchemaVersion = "regpromo-bench/2"
 
 // BaselineGlob matches versioned benchmark reports in the repo root.
 const BaselineGlob = "BENCH_*.json"
@@ -54,9 +56,12 @@ type ConfigReport struct {
 	// Promotions and Spilled are the compile-side diagnostics.
 	Promotions int `json:"promotions"`
 	Spilled    int `json:"spilled"`
-	// CompileNS is total pipeline wall time; Passes itemizes it
-	// with per-pass IR deltas and statistics.
+	// CompileNS is total pipeline wall time; StageNS breaks it down
+	// by coarse compile stage (driver.PassStage: "frontend",
+	// "analysis", "passes"); Passes itemizes it with per-pass IR
+	// deltas and statistics.
 	CompileNS int64            `json:"compile_ns"`
+	StageNS   map[string]int64 `json:"stage_ns,omitempty"`
 	Passes    []*obs.PassEvent `json:"passes"`
 	// Exec records the execution side: engine, compile-once reuse,
 	// and run wall time.
@@ -128,8 +133,10 @@ func collectProgram(p Program, opts Options) (ProgramReport, error) {
 			}
 			outputs = append(outputs, m.Output)
 			var compileNS int64
+			stageNS := make(map[string]int64)
 			for _, e := range m.Passes {
 				compileNS += e.DurationNS
+				stageNS[driver.PassStage(e.Name)] += e.DurationNS
 			}
 			pr.Configs = append(pr.Configs, ConfigReport{
 				Analysis:   analysis.String(),
@@ -138,6 +145,7 @@ func collectProgram(p Program, opts Options) (ProgramReport, error) {
 				Promotions: m.Promote,
 				Spilled:    m.Spilled,
 				CompileNS:  compileNS,
+				StageNS:    stageNS,
 				Passes:     m.Passes,
 				Exec:       m.Exec,
 			})
@@ -215,6 +223,7 @@ func (r *Report) StripTimings() {
 		for j := range r.Programs[i].Configs {
 			c := &r.Programs[i].Configs[j]
 			c.CompileNS = 0
+			c.StageNS = nil
 			c.Exec.DurationNS = 0
 			for _, e := range c.Passes {
 				e.DurationNS = 0

@@ -12,6 +12,15 @@ import (
 	"regpromo/internal/ir"
 )
 
+// FuncID is a dense index interning one defined function, assigned in
+// module function order. Analyses use it to key per-function tables as
+// flat slices instead of name-keyed maps.
+type FuncID int32
+
+// FuncInvalid is returned for names that do not intern (undefined
+// functions, intrinsics).
+const FuncInvalid FuncID = -1
+
 // Graph is a call graph over the module's defined functions.
 type Graph struct {
 	mod *ir.Module
@@ -31,7 +40,28 @@ type Graph struct {
 
 	// sccOf maps a function name to its SCC index.
 	sccOf map[string]int
+
+	// ids interns defined function names in module function order;
+	// names is the inverse table.
+	ids   map[string]FuncID
+	names []string
 }
+
+// ID returns the dense id interning name, or FuncInvalid when name is
+// not a defined function.
+func (g *Graph) ID(name string) FuncID {
+	if id, ok := g.ids[name]; ok {
+		return id
+	}
+	return FuncInvalid
+}
+
+// Name returns the function name interned as id.
+func (g *Graph) Name(id FuncID) string { return g.names[id] }
+
+// NumFuncs returns the number of interned (defined) functions; valid
+// FuncIDs are [0, NumFuncs).
+func (g *Graph) NumFuncs() int { return len(g.names) }
 
 // Build constructs the call graph. Indirect calls conservatively
 // target every addressed function (§4).
@@ -41,6 +71,11 @@ func Build(mod *ir.Module) *Graph {
 		Callees:     make(map[string][]string),
 		HasIndirect: make(map[string]bool),
 		sccOf:       make(map[string]int),
+		ids:         make(map[string]FuncID, len(mod.FuncOrder)),
+	}
+	for _, name := range mod.FuncOrder {
+		g.ids[name] = FuncID(len(g.names))
+		g.names = append(g.names, name)
 	}
 	for _, fn := range mod.FuncsInOrder() {
 		seen := map[string]bool{}

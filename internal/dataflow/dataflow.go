@@ -1,0 +1,174 @@
+// Package dataflow provides the shared machinery for the compiler's
+// iterative fixpoint computations: reverse-postorder block orderings
+// and a priority worklist that drains items in a fixed rank order.
+//
+// Every analysis in this repository solves a monotone framework over a
+// finite lattice, so the fixpoint it reaches is the unique least
+// fixpoint regardless of iteration order (Kam & Ullman). The kernel
+// therefore only changes *how fast* an analysis converges, never what
+// it computes — which is what lets the parallel middle-end and the
+// serial pipeline produce byte-identical IL. Forward problems visit
+// blocks in reverse postorder (all of a block's forward predecessors
+// first), backward problems in postorder; the priority worklist keeps
+// re-queued blocks in that same order so a loop body is re-examined
+// before the code after the loop.
+package dataflow
+
+import (
+	"container/heap"
+
+	"regpromo/internal/ir"
+)
+
+// Postorder returns fn's blocks reachable from Entry in postorder
+// (every block after all of its unvisited successors). The traversal
+// follows Succs edges in order, matching the hand-rolled orderings the
+// individual passes used before this package existed.
+func Postorder(fn *ir.Func) []*ir.Block {
+	order := make([]*ir.Block, 0, len(fn.Blocks))
+	seen := make([]bool, len(fn.Blocks))
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			if !seen[s.ID] {
+				walk(s)
+			}
+		}
+		order = append(order, b)
+	}
+	if fn.Entry != nil {
+		walk(fn.Entry)
+	}
+	return order
+}
+
+// ReversePostorder returns fn's reachable blocks in reverse postorder,
+// the canonical iteration order for forward dataflow problems.
+func ReversePostorder(fn *ir.Func) []*ir.Block {
+	po := Postorder(fn)
+	for i, j := 0, len(po)-1; i < j; i, j = i+1, j-1 {
+		po[i], po[j] = po[j], po[i]
+	}
+	return po
+}
+
+// Direction selects which way facts flow through the CFG.
+type Direction int
+
+const (
+	// Forward problems propagate facts along Succs edges and visit
+	// blocks in reverse postorder.
+	Forward Direction = iota
+	// Backward problems propagate facts along Preds edges and visit
+	// blocks in postorder.
+	Backward
+)
+
+// Worklist is a deduplicating priority worklist over dense item ids.
+// Items drain in ascending rank; pushing an item already queued is a
+// no-op, so each pending item is processed once per generation.
+type Worklist struct {
+	rank   []int // rank[id] = drain priority of item id
+	queued []bool
+	heap   workHeap
+}
+
+// NewWorklist builds a worklist for items 0..len(rank)-1 where rank[i]
+// gives item i's drain priority (lower drains first).
+func NewWorklist(rank []int) *Worklist {
+	return &Worklist{
+		rank:   rank,
+		queued: make([]bool, len(rank)),
+		heap:   make(workHeap, 0, len(rank)),
+	}
+}
+
+// Push queues id unless it is already pending.
+func (w *Worklist) Push(id int) {
+	if w.queued[id] {
+		return
+	}
+	w.queued[id] = true
+	heap.Push(&w.heap, workItem{id: id, rank: w.rank[id]})
+}
+
+// Pop removes and returns the pending item with the lowest rank;
+// ok is false when the worklist is empty.
+func (w *Worklist) Pop() (id int, ok bool) {
+	if len(w.heap) == 0 {
+		return 0, false
+	}
+	it := heap.Pop(&w.heap).(workItem)
+	w.queued[it.id] = false
+	return it.id, true
+}
+
+// Empty reports whether nothing is pending.
+func (w *Worklist) Empty() bool { return len(w.heap) == 0 }
+
+type workItem struct{ id, rank int }
+
+type workHeap []workItem
+
+func (h workHeap) Len() int            { return len(h) }
+func (h workHeap) Less(i, j int) bool  { return h[i].rank < h[j].rank }
+func (h workHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *workHeap) Push(x interface{}) { *h = append(*h, x.(workItem)) }
+func (h *workHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SolveBlocks iterates transfer over fn's reachable blocks until
+// fixpoint. transfer recomputes the block's facts from its current
+// inputs and reports whether its outward-facing facts changed; when
+// they did, the block's dependents (Succs for Forward, Preds for
+// Backward) are re-queued. Blocks are visited — and revisited — in
+// reverse postorder for forward problems and postorder for backward
+// ones. The number of transfer applications is returned so callers can
+// report convergence effort.
+func SolveBlocks(fn *ir.Func, dir Direction, transfer func(b *ir.Block) bool) int {
+	var order []*ir.Block
+	if dir == Forward {
+		order = ReversePostorder(fn)
+	} else {
+		order = Postorder(fn)
+	}
+	rank := make([]int, len(fn.Blocks))
+	for i, b := range order {
+		rank[b.ID] = i
+	}
+	w := NewWorklist(rank)
+	for _, b := range order {
+		w.Push(int(b.ID))
+	}
+	byID := make([]*ir.Block, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		byID[b.ID] = b
+	}
+	steps := 0
+	for {
+		id, ok := w.Pop()
+		if !ok {
+			return steps
+		}
+		b := byID[id]
+		steps++
+		if !transfer(b) {
+			continue
+		}
+		if dir == Forward {
+			for _, s := range b.Succs {
+				w.Push(int(s.ID))
+			}
+		} else {
+			for _, p := range b.Preds {
+				w.Push(int(p.ID))
+			}
+		}
+	}
+}

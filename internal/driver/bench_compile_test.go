@@ -1,0 +1,47 @@
+package driver_test
+
+import (
+	"testing"
+
+	"regpromo/internal/bench"
+	"regpromo/internal/driver"
+)
+
+// compileMatrix runs the paper's four measurement configurations over
+// every suite program, forking each pipeline from a pre-parsed
+// front-end artifact so the benchmark isolates the middle end (analysis
+// + optimization + allocation) the way the rpbench matrix pays for it.
+func compileMatrix(b *testing.B, workers int) {
+	b.Helper()
+	type job struct {
+		name string
+		fe   *driver.Frontend
+	}
+	var jobs []job
+	for _, p := range bench.Suite() {
+		fe, err := driver.ParseSource(p.Name+".c", bench.Source(p))
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, job{p.Name, fe})
+	}
+	configs := driver.Configurations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			for _, cfg := range configs {
+				cfg.Workers = workers
+				if _, err := j.fe.Compile(cfg, nil); err != nil {
+					b.Fatalf("%s: %v", j.name, err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkCompileMatrix measures the full rpbench compile matrix:
+// every suite program under all four paper configurations.
+func BenchmarkCompileMatrix(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { compileMatrix(b, 1) })
+	b.Run("parallel", func(b *testing.B) { compileMatrix(b, 0) })
+}

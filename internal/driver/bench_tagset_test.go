@@ -1,0 +1,55 @@
+package driver_test
+
+import (
+	"testing"
+
+	"regpromo/internal/ir"
+)
+
+// BenchmarkTagSetOps measures the dense bit-vector TagSet on the
+// operation mix the dataflow analyses lean on: in-place union into an
+// accumulator (the MOD/REF and points-to inner loop), allocating
+// union, intersection, membership, and equality (the fixpoint
+// convergence check). Sets hold every third tag out of 512, a density
+// typical of per-function visible-set summaries.
+func BenchmarkTagSetOps(b *testing.B) {
+	const n = 512
+	var ids, odds []ir.TagID
+	for i := 0; i < n; i += 3 {
+		ids = append(ids, ir.TagID(i))
+	}
+	for i := 1; i < n; i += 2 {
+		odds = append(odds, ir.TagID(i))
+	}
+	x := ir.NewTagSet(ids...)
+	y := ir.NewTagSet(odds...)
+
+	b.Run("UnionInto", func(b *testing.B) {
+		var acc ir.TagSet
+		for i := 0; i < b.N; i++ {
+			x.UnionInto(&acc)
+			y.UnionInto(&acc)
+		}
+	})
+	b.Run("Union", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = x.Union(y)
+		}
+	})
+	b.Run("Intersect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = x.Intersect(y)
+		}
+	})
+	b.Run("Has", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = x.Has(ir.TagID(i % n))
+		}
+	})
+	b.Run("Equal", func(b *testing.B) {
+		z := x.Clone()
+		for i := 0; i < b.N; i++ {
+			_ = x.Equal(z)
+		}
+	})
+}

@@ -15,6 +15,9 @@ package driver
 
 import (
 	"fmt"
+	"strings"
+	"sync"
+	"time"
 
 	"regpromo/internal/analysis/modref"
 	"regpromo/internal/analysis/pointsto"
@@ -31,6 +34,7 @@ import (
 	"regpromo/internal/opt/pre"
 	"regpromo/internal/opt/promote"
 	"regpromo/internal/opt/valnum"
+	"regpromo/internal/par"
 	"regpromo/internal/regalloc"
 )
 
@@ -83,6 +87,12 @@ type Config struct {
 	NoAlloc bool
 	// K is the physical register count for allocation (default 32).
 	K int
+
+	// Workers bounds how many functions the per-function middle-end
+	// passes process concurrently: 0 picks one worker per CPU, 1
+	// compiles serially, larger values set the pool size directly.
+	// The produced IL is identical at any setting.
+	Workers int
 }
 
 // Compilation is a compiled program plus pass statistics.
@@ -101,18 +111,33 @@ type Compilation struct {
 	progs [2]*interp.Program
 }
 
-// pass is one named stage of the pipeline. run returns the pass's
-// extra statistics for the observer (may be nil).
+// pass is one named stage of the pipeline. run is the whole-module
+// form, used for interprocedural barriers and for serial execution;
+// it returns the pass's extra statistics for the observer (may be
+// nil). fn, when non-nil, is the per-function form of the same
+// transformation: a maximal run of consecutive fn-capable passes
+// forms a group that the parallel middle end executes function by
+// function (each function walks the whole group before the next
+// barrier). tags is the function's spill-slot allocator — the shared
+// TagTable when running serially, a private ir.StagedTags when
+// running concurrently. finish, when non-nil, rebuilds the pass's
+// observer statistics from pipeState after a parallel group (used
+// where the serial extras are not a plain per-function sum).
 type pass struct {
-	name string
-	run  func(s *pipeState) (map[string]int64, error)
+	name   string
+	run    func(s *pipeState) (map[string]int64, error)
+	fn     func(s *pipeState, f *ir.Func, tags ir.TagAlloc) (map[string]int64, error)
+	finish func(s *pipeState) map[string]int64
 }
 
-// pipeState is the mutable state threaded through the pass list.
+// pipeState is the mutable state threaded through the pass list. The
+// mutex guards the Stats fields of c during parallel groups; both
+// folds are commutative, so the accumulation order cannot show.
 type pipeState struct {
 	cfg Config
 	c   *Compilation
 	cg  *callgraph.Graph
+	mu  sync.Mutex
 }
 
 // Canonical pass names, in the order the full pipeline runs them.
@@ -137,13 +162,13 @@ const (
 // passes expands the configuration into its pass list.
 func (cfg Config) passes() []pass {
 	var ps []pass
-	ps = append(ps, pass{PassModRef, func(s *pipeState) (map[string]int64, error) {
+	ps = append(ps, pass{name: PassModRef, run: func(s *pipeState) (map[string]int64, error) {
 		s.cg = callgraph.Build(s.c.Module)
 		modref.Run(s.c.Module, s.cg)
 		return nil, nil
 	}})
 	if cfg.Analysis == PointsTo {
-		ps = append(ps, pass{PassPointsTo, func(s *pipeState) (map[string]int64, error) {
+		ps = append(ps, pass{name: PassPointsTo, run: func(s *pipeState) (map[string]int64, error) {
 			m := s.c.Module
 			pointsto.Run(m, s.cg)
 			modref.RefineMemOps(m)
@@ -157,66 +182,113 @@ func (cfg Config) passes() []pass {
 		}})
 	}
 	// The classical passes report how many rewrites they performed;
-	// surface that as the pass's "changed" statistic.
-	simple := func(name string, run func(*ir.Module) int) pass {
-		return pass{name, func(s *pipeState) (map[string]int64, error) {
-			n := run(s.c.Module)
-			return map[string]int64{"changed": int64(n)}, nil
-		}}
+	// surface that as the pass's "changed" statistic. Each carries
+	// both forms: the module loop for serial runs and the
+	// per-function body the parallel middle end distributes.
+	simple := func(name string, run func(*ir.Module) int, fn func(*ir.Func) int) pass {
+		return pass{
+			name: name,
+			run: func(s *pipeState) (map[string]int64, error) {
+				return map[string]int64{"changed": int64(run(s.c.Module))}, nil
+			},
+			fn: func(_ *pipeState, f *ir.Func, _ ir.TagAlloc) (map[string]int64, error) {
+				return map[string]int64{"changed": int64(fn(f))}, nil
+			},
+		}
 	}
 	if !cfg.DisableOpt {
 		ps = append(ps,
-			simple(PassConstProp, constprop.Run),
-			simple(PassValnum, valnum.Run),
-			simple(PassLICM, licm.Run),
+			simple(PassConstProp, constprop.Run, constprop.Func),
+			simple(PassValnum, valnum.Run, valnum.Func),
+			simple(PassLICM, licm.Run, licm.Func),
 		)
+	}
+	promoteExtras := func(st promote.Stats) map[string]int64 {
+		return map[string]int64{
+			"scalar_promotions":  int64(st.ScalarPromotions),
+			"pointer_promotions": int64(st.PointerPromotions),
+			"refs_rewritten":     int64(st.RefsRewritten),
+			"loads_inserted":     int64(st.LoadsInserted),
+			"stores_inserted":    int64(st.StoresInserted),
+		}
+	}
+	promoteOpts := promote.Options{
+		Pointer:             cfg.PointerPromote,
+		SkipUnwrittenStores: cfg.SkipUnwrittenStores,
+		PressureLimit:       cfg.Throttle,
 	}
 	if cfg.Promote {
-		ps = append(ps, pass{PassPromote, func(s *pipeState) (map[string]int64, error) {
-			st := promote.Run(s.c.Module, promote.Options{
-				Pointer:             s.cfg.PointerPromote,
-				SkipUnwrittenStores: s.cfg.SkipUnwrittenStores,
-				PressureLimit:       s.cfg.Throttle,
-			})
-			s.c.Promote = st
-			return map[string]int64{
-				"scalar_promotions":  int64(st.ScalarPromotions),
-				"pointer_promotions": int64(st.PointerPromotions),
-				"refs_rewritten":     int64(st.RefsRewritten),
-				"loads_inserted":     int64(st.LoadsInserted),
-				"stores_inserted":    int64(st.StoresInserted),
-			}, nil
-		}})
+		ps = append(ps, pass{
+			name: PassPromote,
+			run: func(s *pipeState) (map[string]int64, error) {
+				st := promote.Run(s.c.Module, promoteOpts)
+				s.c.Promote = st
+				return promoteExtras(st), nil
+			},
+			fn: func(s *pipeState, f *ir.Func, _ ir.TagAlloc) (map[string]int64, error) {
+				st := promote.Func(s.c.Module, f, promoteOpts)
+				s.mu.Lock()
+				s.c.Promote.Add(st)
+				s.mu.Unlock()
+				return nil, nil
+			},
+			finish: func(s *pipeState) map[string]int64 { return promoteExtras(s.c.Promote) },
+		})
 	}
 	if cfg.DSE {
-		ps = append(ps, simple(PassDSE, dse.Run))
+		ps = append(ps, pass{
+			name: PassDSE,
+			run: func(s *pipeState) (map[string]int64, error) {
+				return map[string]int64{"changed": int64(dse.Run(s.c.Module))}, nil
+			},
+			fn: func(s *pipeState, f *ir.Func, _ ir.TagAlloc) (map[string]int64, error) {
+				return map[string]int64{"changed": int64(dse.Func(s.c.Module, f))}, nil
+			},
+		})
 	}
 	if !cfg.DisableOpt {
 		ps = append(ps,
-			simple(PassPRE, pre.Run),
-			simple(PassValnumLate, valnum.Run),
-			simple(PassCopyProp, copyprop.Run),
-			simple(PassDCE, dce.Run),
-			simple(PassClean, clean.Run),
+			simple(PassPRE, pre.Run, pre.Func),
+			simple(PassValnumLate, valnum.Run, valnum.Func),
+			simple(PassCopyProp, copyprop.Run, copyprop.Func),
+			simple(PassDCE, dce.Run, dce.Func),
+			simple(PassClean, clean.Run, clean.Func),
 		)
 	}
-	if !cfg.NoAlloc {
-		ps = append(ps, pass{PassRegalloc, func(s *pipeState) (map[string]int64, error) {
-			st, err := regalloc.Run(s.c.Module, regalloc.Options{K: s.cfg.K})
-			if err != nil {
-				return nil, err
-			}
-			s.c.Alloc = st
-			return map[string]int64{
-				"spilled":      int64(st.Spilled),
-				"spill_loads":  int64(st.SpillLoads),
-				"spill_stores": int64(st.SpillStores),
-				"coalesced":    int64(st.Coalesced),
-				"rounds":       int64(st.Rounds),
-			}, nil
-		}})
+	allocExtras := func(st regalloc.Stats) map[string]int64 {
+		return map[string]int64{
+			"spilled":      int64(st.Spilled),
+			"spill_loads":  int64(st.SpillLoads),
+			"spill_stores": int64(st.SpillStores),
+			"coalesced":    int64(st.Coalesced),
+			"rounds":       int64(st.Rounds),
+		}
 	}
-	ps = append(ps, pass{PassVerify, func(s *pipeState) (map[string]int64, error) {
+	if !cfg.NoAlloc {
+		ps = append(ps, pass{
+			name: PassRegalloc,
+			run: func(s *pipeState) (map[string]int64, error) {
+				st, err := regalloc.Run(s.c.Module, regalloc.Options{K: s.cfg.K})
+				if err != nil {
+					return nil, err
+				}
+				s.c.Alloc = st
+				return allocExtras(st), nil
+			},
+			fn: func(s *pipeState, f *ir.Func, tags ir.TagAlloc) (map[string]int64, error) {
+				st, err := regalloc.Func(f, regalloc.Options{K: s.cfg.K}, tags)
+				if err != nil {
+					return nil, err
+				}
+				s.mu.Lock()
+				s.c.Alloc.Add(st)
+				s.mu.Unlock()
+				return nil, nil
+			},
+			finish: func(s *pipeState) map[string]int64 { return allocExtras(s.c.Alloc) },
+		})
+	}
+	ps = append(ps, pass{name: PassVerify, run: func(s *pipeState) (map[string]int64, error) {
 		if err := ir.VerifyModule(s.c.Module); err != nil {
 			return nil, fmt.Errorf("pipeline produced invalid IL: %w", err)
 		}
@@ -239,6 +311,22 @@ func (cfg Config) Passes() []string {
 
 // PassFrontend is the observer's name for the parse+sema+irgen stage.
 const PassFrontend = "frontend"
+
+// PassStage classifies a pass name into one of the three coarse
+// compile stages benchmark reports break wall time down by:
+// "frontend" (parse+sema+irgen, including the "frontend.reuse" clone
+// stage of a forked pipeline), "analysis" (the interprocedural
+// barriers — MOD/REF and points-to), and "passes" (the per-function
+// middle end, including verification).
+func PassStage(name string) string {
+	switch {
+	case strings.HasPrefix(name, PassFrontend):
+		return "frontend"
+	case name == PassModRef || name == PassPointsTo:
+		return "analysis"
+	}
+	return "passes"
+}
 
 // CompileSource runs the full pipeline over one C source file.
 func CompileSource(filename, src string, cfg Config) (*Compilation, error) {
@@ -265,17 +353,154 @@ func Compile(filename, src string, cfg Config, pipe *obs.Pipeline) (*Compilation
 }
 
 // compilePasses runs cfg's pass list over c.Module under the observer.
+//
+// Passes with a per-function form are batched into maximal groups and
+// distributed across functions by the parallel middle end; the
+// interprocedural analyses and the verifier stay whole-module
+// barriers between groups. Two situations force the classic serial
+// pass-by-pass walk instead: Workers == 1 (the caller asked for it),
+// and an observer that wants IL dumps — a per-pass module dump needs
+// the whole module parked at that pass boundary, a state pipelined
+// execution never materializes.
 func compilePasses(c *Compilation, cfg Config, pipe *obs.Pipeline) (*Compilation, error) {
 	s := &pipeState{cfg: cfg, c: c}
-	for _, p := range cfg.passes() {
-		run := p.run
-		if err := pipe.Observe(p.name, c.Module, func() (map[string]int64, error) {
+	ps := cfg.passes()
+	serial := cfg.Workers == 1 || (pipe != nil && pipe.DumpPass != "")
+	for i := 0; i < len(ps); {
+		if !serial && ps[i].fn != nil {
+			j := i
+			for j < len(ps) && ps[j].fn != nil {
+				j++
+			}
+			if err := runGroup(s, ps[i:j], pipe); err != nil {
+				return nil, err
+			}
+			i = j
+			continue
+		}
+		run := ps[i].run
+		if err := pipe.Observe(ps[i].name, c.Module, func() (map[string]int64, error) {
 			return run(s)
 		}); err != nil {
 			return nil, err
 		}
+		i++
 	}
 	return c, nil
+}
+
+// funcStage is one (function, pass) telemetry record from a parallel
+// group.
+type funcStage struct {
+	before, after obs.Snapshot
+	durNS         int64
+	extra         map[string]int64
+}
+
+// runGroup executes a maximal run of per-function passes across the
+// module's functions on the worker pool. Each function walks the
+// whole group — function A can be in regalloc while function B is
+// still in constprop — so the group's wall time is bounded by the
+// slowest function, not by the slowest pass.
+//
+// Determinism: the passes in a group only read shared state (the tag
+// table, call-graph summaries baked into instructions) and mutate
+// their own function, so the produced IL is bit-identical to a serial
+// run. The two exceptions are handled explicitly. Spill-slot tags
+// would be allocated from the shared table in racy order; instead
+// each function stages its tags privately (ir.StagedTags) and the
+// stagings are committed in function order afterwards, reproducing
+// the serial numbering. Observer events would interleave; instead
+// each worker measures its own function around every stage and the
+// per-function records are merged in function order — Measure
+// decomposes over functions, so the merged Before/After equal the
+// whole-module snapshots a serial run would have taken.
+func runGroup(s *pipeState, group []pass, pipe *obs.Pipeline) error {
+	m := s.c.Module
+	fns := m.FuncsInOrder()
+	recs := make([][]funcStage, len(fns))
+	staged := make([]*ir.StagedTags, len(fns))
+	if _, err := par.ParallelMap(len(fns), s.cfg.Workers, func(i int) (struct{}, error) {
+		fn := fns[i]
+		st := &ir.StagedTags{}
+		staged[i] = st
+		rs := make([]funcStage, len(group))
+		for j := range group {
+			if pipe == nil {
+				if _, err := group[j].fn(s, fn, st); err != nil {
+					return struct{}{}, err
+				}
+				continue
+			}
+			rs[j].before = obs.MeasureFunc(fn)
+			start := time.Now()
+			extra, err := group[j].fn(s, fn, st)
+			rs[j].durNS = time.Since(start).Nanoseconds()
+			if err != nil {
+				return struct{}{}, err
+			}
+			rs[j].after = obs.MeasureFunc(fn)
+			rs[j].extra = extra
+		}
+		recs[i] = rs
+		return struct{}{}, nil
+	}); err != nil {
+		return err
+	}
+
+	// Commit staged spill tags in function order: the replay hands out
+	// exactly the ids a serial compile would have, then the function's
+	// provisional references are rewritten to them.
+	for i, fn := range fns {
+		if staged[i].Empty() {
+			continue
+		}
+		commitStagedTags(fn, staged[i], &m.Tags)
+	}
+
+	if pipe != nil {
+		for j := range group {
+			ev := &obs.PassEvent{Name: group[j].name}
+			var extra map[string]int64
+			for i := range fns {
+				r := &recs[i][j]
+				ev.Before = ev.Before.Add(r.before)
+				ev.After = ev.After.Add(r.after)
+				ev.DurationNS += r.durNS
+				for k, v := range r.extra {
+					if extra == nil {
+						extra = make(map[string]int64)
+					}
+					extra[k] += v
+				}
+			}
+			if group[j].finish != nil {
+				extra = group[j].finish(s)
+			}
+			ev.Extra = extra
+			pipe.Append(ev)
+		}
+	}
+	return nil
+}
+
+// commitStagedTags replays fn's staged tag creations into the shared
+// table and rewrites the function's provisional tag ids (spill-slot
+// references and frame-local entries) to the real ones.
+func commitStagedTags(fn *ir.Func, staged *ir.StagedTags, tags *ir.TagTable) {
+	remap := staged.Commit(tags)
+	for i, t := range fn.Locals {
+		if id, ok := remap[t]; ok {
+			fn.Locals[i] = id
+		}
+	}
+	for _, b := range fn.Blocks {
+		for i := range b.Instrs {
+			if id, ok := remap[b.Instrs[i].Tag]; ok {
+				b.Instrs[i].Tag = id
+			}
+		}
+	}
 }
 
 // Execute runs a compiled program in the instrumented interpreter.

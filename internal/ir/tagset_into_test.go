@@ -1,0 +1,171 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTagSetInPlaceAgainstMapOracle mirrors the immutable-algebra
+// oracle test for the *Into mutators the fixpoint accumulators use:
+// each in-place result must match the map computation, the reported
+// change bit must match, and the operand set must come through
+// untouched.
+func TestTagSetInPlaceAgainstMapOracle(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSet(rng), randSet(rng)
+		if a.IsTop() || b.IsTop() {
+			return true // ⊤ laws checked separately
+		}
+		am, bm := asMap(a), asMap(b)
+		bBefore := b.Clone()
+
+		union := map[TagID]bool{}
+		for k := range am {
+			union[k] = true
+		}
+		for k := range bm {
+			union[k] = true
+		}
+		inter := map[TagID]bool{}
+		for k := range am {
+			if bm[k] {
+				inter[k] = true
+			}
+		}
+		minus := map[TagID]bool{}
+		for k := range am {
+			if !bm[k] {
+				minus[k] = true
+			}
+		}
+
+		dst := a.Clone()
+		if changed := b.UnionInto(&dst); !dst.Equal(fromMap(union)) || changed != !dst.Equal(a) {
+			return false
+		}
+		dst = a.Clone()
+		if changed := b.IntersectInto(&dst); !dst.Equal(fromMap(inter)) || changed != !dst.Equal(a) {
+			return false
+		}
+		dst = a.Clone()
+		if changed := b.SubtractInto(&dst); !dst.Equal(fromMap(minus)) || changed != !dst.Equal(a) {
+			return false
+		}
+
+		id := TagID(rng.Intn(12))
+		dst = a.Clone()
+		if changed := dst.Add(id); !dst.Equal(a.With(id)) || changed == am[id] {
+			return false
+		}
+		dst = a.Clone()
+		if changed := dst.Remove(id); dst.Has(id) || changed != am[id] {
+			return false
+		}
+		am2 := asMap(a)
+		delete(am2, id)
+		if !dst.Equal(fromMap(am2)) {
+			return false
+		}
+
+		// The operand is never mutated.
+		return b.Equal(bBefore)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagSetInPlaceTopLaws(t *testing.T) {
+	s := NewTagSet(1, 2, 3)
+
+	dst := s.Clone()
+	if changed := TopSet().UnionInto(&dst); !changed || !dst.IsTop() {
+		t.Fatal("⊤ union-into a finite set must produce ⊤")
+	}
+	dst = TopSet()
+	if changed := s.UnionInto(&dst); changed || !dst.IsTop() {
+		t.Fatal("union into ⊤ must keep ⊤ unchanged")
+	}
+
+	dst = s.Clone()
+	if changed := TopSet().IntersectInto(&dst); changed || !dst.Equal(s) {
+		t.Fatal("⊤ intersect-into must be the identity")
+	}
+	dst = TopSet()
+	if changed := s.IntersectInto(&dst); !changed || !dst.Equal(s) {
+		t.Fatal("intersecting ⊤ down to s must yield s")
+	}
+
+	dst = s.Clone()
+	if changed := TopSet().SubtractInto(&dst); !changed || !dst.IsEmpty() {
+		t.Fatal("subtracting ⊤ must empty the set")
+	}
+	dst = TopSet()
+	if changed := s.SubtractInto(&dst); changed || !dst.IsTop() {
+		t.Fatal("⊤ minus a finite set stays ⊤ (matching Minus)")
+	}
+	dst = TopSet()
+	if dst.Remove(2) || !dst.IsTop() {
+		t.Fatal("Remove on ⊤ is a no-op")
+	}
+}
+
+// TestTagSetIntoOwnership pins the aliasing contract the analyses
+// rely on: UnionInto must give dst its own backing even when the
+// no-alloc Union fast path would have shared words, so mutating the
+// accumulator afterwards can never write through into the operand.
+func TestTagSetIntoOwnership(t *testing.T) {
+	src := NewTagSet(3, 7, 64)
+	var acc TagSet // empty: the sharing-prone case
+	src.UnionInto(&acc)
+	acc.Add(9)
+	acc.Remove(7)
+	if !src.Equal(NewTagSet(3, 7, 64)) {
+		t.Fatalf("mutating the accumulator changed the source: %v", src)
+	}
+}
+
+// TestStagedTagsCommit checks the parallel middle-end's spill-slot
+// protocol: provisional ids are recognizable, Commit replays the
+// stagings into the shared table in order, and the Tag structs handed
+// out by NewTag are re-identified in place so held pointers stay good.
+func TestStagedTagsCommit(t *testing.T) {
+	var tt TagTable
+	pre := tt.NewTag("g", TagGlobal, "", 8, 8)
+
+	var st StagedTags
+	if !st.Empty() {
+		t.Fatal("fresh staging must be empty")
+	}
+	a := st.NewTag("f.spill#0", TagSpill, "f", 8, 8)
+	b := st.NewTag("f.spill#1", TagSpill, "f", 8, 8)
+	a.Strong = true
+	if !IsStagedTag(a.ID) || !IsStagedTag(b.ID) || a.ID == b.ID {
+		t.Fatalf("staged ids must be distinct provisionals, got %d and %d", a.ID, b.ID)
+	}
+	if IsStagedTag(pre.ID) || IsStagedTag(TagInvalid) {
+		t.Fatal("real ids and TagInvalid must not classify as staged")
+	}
+
+	remap := st.Commit(&tt)
+	if !st.Empty() {
+		t.Fatal("commit must drain the staging")
+	}
+	if len(remap) != 2 {
+		t.Fatalf("remap has %d entries, want 2", len(remap))
+	}
+	if a.ID != pre.ID+1 || b.ID != pre.ID+2 {
+		t.Fatalf("commit must hand out sequential table ids, got %d, %d", a.ID, b.ID)
+	}
+	if tt.Get(a.ID) != a || tt.Get(b.ID) != b {
+		t.Fatal("committed table entries must be the staged structs themselves")
+	}
+	if !tt.Get(a.ID).Strong {
+		t.Fatal("fields set on staged tags must survive commit")
+	}
+	if tt.Len() != 3 {
+		t.Fatalf("table has %d tags, want 3", tt.Len())
+	}
+}

@@ -44,6 +44,17 @@ func (m MemOps) Loads() int { return m.ConstLoads + m.ScalarLoads + m.PtrLoads }
 // Stores is the total static store count across classes.
 func (m MemOps) Stores() int { return m.ScalarStores + m.PtrStores }
 
+func (m MemOps) add(o MemOps) MemOps {
+	return MemOps{
+		ImmLoads:     m.ImmLoads + o.ImmLoads,
+		ConstLoads:   m.ConstLoads + o.ConstLoads,
+		ScalarLoads:  m.ScalarLoads + o.ScalarLoads,
+		ScalarStores: m.ScalarStores + o.ScalarStores,
+		PtrLoads:     m.PtrLoads + o.PtrLoads,
+		PtrStores:    m.PtrStores + o.PtrStores,
+	}
+}
+
 func (m MemOps) sub(o MemOps) MemOps {
 	return MemOps{
 		ImmLoads:     m.ImmLoads - o.ImmLoads,
@@ -69,6 +80,20 @@ type Snapshot struct {
 	Loop MemOps `json:"loop"`
 }
 
+// Add returns the fieldwise sum s + o. Module snapshots decompose
+// over functions: summing MeasureFunc over a module's functions gives
+// exactly Measure of the module, which is what lets the parallel
+// middle end assemble whole-module telemetry from per-function pieces.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		Funcs:  s.Funcs + o.Funcs,
+		Blocks: s.Blocks + o.Blocks,
+		Instrs: s.Instrs + o.Instrs,
+		Mem:    s.Mem.add(o.Mem),
+		Loop:   s.Loop.add(o.Loop),
+	}
+}
+
 // Sub returns the fieldwise difference s - o.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
@@ -87,15 +112,22 @@ func Measure(m *ir.Module) Snapshot {
 		return s
 	}
 	for _, fn := range m.FuncsInOrder() {
-		s.Funcs++
-		inLoop := cyclicBlocks(fn)
-		for _, b := range fn.Blocks {
-			s.Blocks++
-			s.Instrs += len(b.Instrs)
-			census(b.Instrs, &s.Mem)
-			if inLoop[b] {
-				census(b.Instrs, &s.Loop)
-			}
+		s = s.Add(MeasureFunc(fn))
+	}
+	return s
+}
+
+// MeasureFunc produces the snapshot of a single function (Funcs is 1).
+// Measure is the sum of MeasureFunc over FuncsInOrder, exactly.
+func MeasureFunc(fn *ir.Func) Snapshot {
+	s := Snapshot{Funcs: 1}
+	inLoop := cyclicBlocks(fn)
+	for _, b := range fn.Blocks {
+		s.Blocks++
+		s.Instrs += len(b.Instrs)
+		census(b.Instrs, &s.Mem)
+		if inLoop[b] {
+			census(b.Instrs, &s.Loop)
 		}
 	}
 	return s
@@ -280,6 +312,19 @@ func (p *Pipeline) Observe(name string, m *ir.Module, run func() (map[string]int
 	}
 	p.Events = append(p.Events, ev)
 	return nil
+}
+
+// Append adds a pre-assembled event to the stream, assigning its
+// Index. The driver's parallel middle end builds events by merging
+// per-function measurements in function order and emits them here,
+// through the same stream Observe feeds. A nil receiver discards the
+// event.
+func (p *Pipeline) Append(ev *PassEvent) {
+	if p == nil || ev == nil {
+		return
+	}
+	ev.Index = len(p.Events)
+	p.Events = append(p.Events, ev)
 }
 
 // Event returns the first event with the given pass name, or nil.

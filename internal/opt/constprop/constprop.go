@@ -7,7 +7,10 @@
 // constants appear.
 package constprop
 
-import "regpromo/internal/ir"
+import (
+	"regpromo/internal/dataflow"
+	"regpromo/internal/ir"
+)
 
 // Run propagates constants through every function; it returns the
 // number of instructions folded.
@@ -50,9 +53,21 @@ func Func(fn *ir.Func) int {
 			}
 			return 0, false
 		}
+		// A fold that produces a LoadI makes its destination known
+		// immediately — the next round would rediscover exactly this
+		// fact, so registering it now only accelerates convergence
+		// (the fixpoint is the same; rewrites never retract).
+		setConst := func(d ir.Reg, v int64) {
+			if defCount[d] == 1 {
+				constVal[d] = v
+				isConst[d] = true
+			}
+		}
 
 		changed := 0
-		for _, b := range fn.Blocks {
+		// Visit blocks in reverse postorder so a constant discovered
+		// in a block is usually seen before the blocks it flows to.
+		for _, b := range dataflow.ReversePostorder(fn) {
 			for i := range b.Instrs {
 				in := &b.Instrs[i]
 				switch in.Op {
@@ -64,6 +79,7 @@ func Func(fn *ir.Func) int {
 					if aok && bok {
 						if c, ok := fold(in.Op, a, bb); ok {
 							*in = ir.Instr{Op: ir.OpLoadI, Dst: in.Dst, Imm: c}
+							setConst(in.Dst, c)
 							changed++
 						}
 						continue
@@ -71,21 +87,27 @@ func Func(fn *ir.Func) int {
 					// Algebraic identities with one constant side.
 					if c, ok := simplifyIdentity(in, aok, a, bok, bb); ok {
 						*in = c
+						if c.Op == ir.OpLoadI {
+							setConst(c.Dst, c.Imm)
+						}
 						changed++
 					}
 				case ir.OpNeg:
 					if a, ok := known(in.A); ok {
 						*in = ir.Instr{Op: ir.OpLoadI, Dst: in.Dst, Imm: -a}
+						setConst(in.Dst, -a)
 						changed++
 					}
 				case ir.OpNot:
 					if a, ok := known(in.A); ok {
 						*in = ir.Instr{Op: ir.OpLoadI, Dst: in.Dst, Imm: ^a}
+						setConst(in.Dst, ^a)
 						changed++
 					}
 				case ir.OpCopy:
 					if a, ok := known(in.A); ok {
 						*in = ir.Instr{Op: ir.OpLoadI, Dst: in.Dst, Imm: a}
+						setConst(in.Dst, a)
 						changed++
 					}
 				case ir.OpCBr:

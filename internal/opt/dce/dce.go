@@ -4,7 +4,10 @@
 // load's only observable effect is its result.
 package dce
 
-import "regpromo/internal/ir"
+import (
+	"regpromo/internal/dataflow"
+	"regpromo/internal/ir"
+)
 
 // Run eliminates dead code in every function and returns the number
 // of instructions removed.
@@ -19,26 +22,49 @@ func Run(m *ir.Module) int {
 // Func eliminates dead code in one function.
 func Func(fn *ir.Func) int {
 	removed := 0
+	var buf [8]ir.Reg
 	for {
+		// Sparse mark phase: seed liveness from the operands of
+		// side-effecting and control instructions, then drain a
+		// register worklist — a register going live revives the pure
+		// instructions that define it, which keeps their own operands
+		// alive in turn. Same least fixpoint as the old whole-function
+		// sweep, without rescanning every instruction per iteration.
 		live := make([]bool, fn.NumRegs)
-		// Seed: registers used by side-effecting or control
-		// instructions, then propagate through pure defs until
-		// stable.
-		var buf [8]ir.Reg
-		changed := true
-		for changed {
-			changed = false
-			for _, b := range fn.Blocks {
-				for i := range b.Instrs {
-					in := &b.Instrs[i]
-					if !isRemovable(in) || (in.Def() != ir.RegInvalid && live[in.Def()]) {
-						for _, u := range in.Uses(buf[:0]) {
-							if !live[u] {
-								live[u] = true
-								changed = true
-							}
-						}
+		defs := make([][]*ir.Instr, fn.NumRegs)
+		rank := make([]int, fn.NumRegs)
+		for i := range rank {
+			rank[i] = i
+		}
+		w := dataflow.NewWorklist(rank)
+		mark := func(r ir.Reg) {
+			if !live[r] {
+				live[r] = true
+				w.Push(int(r))
+			}
+		}
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if isRemovable(in) {
+					if d := in.Def(); d != ir.RegInvalid {
+						defs[d] = append(defs[d], in)
 					}
+					continue
+				}
+				for _, u := range in.Uses(buf[:0]) {
+					mark(u)
+				}
+			}
+		}
+		for {
+			id, ok := w.Pop()
+			if !ok {
+				break
+			}
+			for _, in := range defs[id] {
+				for _, u := range in.Uses(buf[:0]) {
+					mark(u)
 				}
 			}
 		}

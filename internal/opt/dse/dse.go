@@ -29,42 +29,40 @@ func Run(m *ir.Module) int {
 // Func eliminates dead scalar stores in one function.
 func Func(m *ir.Module, fn *ir.Func) int {
 	// Tags local to this function's frame (dead once it returns).
-	ownLocals := ir.TagSet{}
+	var ownLocals ir.TagSet
 	for _, t := range fn.Locals {
-		ownLocals = ownLocals.With(t)
+		ownLocals.Add(t)
 	}
 
 	removed := 0
 	for _, b := range fn.Blocks {
-		// dead[t] = true when every path from this point within the
-		// block overwrites t before any possible read. Seeded at a
+		// dead holds the tags that every path from this point within
+		// the block overwrites before any possible read. Seeded at a
 		// return with the function's own frame tags.
-		dead := map[ir.TagID]bool{}
+		var dead ir.TagSet
 		if term := b.Terminator(); term != nil && term.Op == ir.OpRet {
-			for _, t := range ownLocals.IDs() {
-				dead[t] = true
-			}
+			dead = ownLocals.Clone()
 		}
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
 			in := &b.Instrs[i]
 			switch in.Op {
 			case ir.OpSStore:
-				if dead[in.Tag] {
+				if dead.Has(in.Tag) {
 					*in = ir.Instr{Op: ir.OpNop}
 					removed++
 					continue
 				}
-				dead[in.Tag] = true
+				dead.Add(in.Tag)
 			case ir.OpSLoad, ir.OpCLoad:
-				delete(dead, in.Tag)
+				dead.Remove(in.Tag)
 			case ir.OpPLoad:
-				clearReads(dead, in.Tags)
+				in.Tags.SubtractInto(&dead)
 			case ir.OpPStore:
 				// A pointer store may only PARTIALLY overwrite a
 				// tag (an array element); it never makes a tag
 				// dead, and it reads nothing.
 			case ir.OpJsr:
-				clearReads(dead, in.Refs)
+				in.Refs.SubtractInto(&dead)
 				// The callee may also store-then-read internally;
 				// only its REF set matters for deadness here, but
 				// tags it may write are not "overwritten later"
@@ -84,16 +82,4 @@ func Func(m *ir.Module, fn *ir.Func) int {
 		b.Instrs = out
 	}
 	return removed
-}
-
-func clearReads(dead map[ir.TagID]bool, tags ir.TagSet) {
-	if tags.IsTop() {
-		for k := range dead {
-			delete(dead, k)
-		}
-		return
-	}
-	for _, t := range tags.IDs() {
-		delete(dead, t)
-	}
 }

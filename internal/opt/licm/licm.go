@@ -58,11 +58,18 @@ type state struct {
 	dom *cfg.DomTree
 	// defCount counts definitions per register over the whole
 	// function; maintained across hoists (moves do not change it).
-	defCount map[ir.Reg]int
+	defCount []int
+	// loopDefs is scratch for hoist, reused across loops.
+	loopDefs []int
 }
 
 func newState(fn *ir.Func, dom *cfg.DomTree) *state {
-	st := &state{fn: fn, dom: dom, defCount: make(map[ir.Reg]int)}
+	st := &state{
+		fn:       fn,
+		dom:      dom,
+		defCount: make([]int, fn.NumRegs),
+		loopDefs: make([]int, fn.NumRegs),
+	}
 	// Parameters carry an implicit entry definition.
 	for _, p := range fn.Params {
 		st.defCount[p]++
@@ -81,7 +88,10 @@ func newState(fn *ir.Func, dom *cfg.DomTree) *state {
 func (st *state) hoist(l *cfg.Loop) int {
 	moved := 0
 	// Definitions inside this loop.
-	loopDefs := make(map[ir.Reg]int)
+	loopDefs := st.loopDefs
+	for i := range loopDefs {
+		loopDefs[i] = 0
+	}
 	for b := range l.Blocks {
 		for i := range b.Instrs {
 			if d := b.Instrs[i].Def(); d != ir.RegInvalid {

@@ -24,6 +24,7 @@ package pre
 import (
 	"sort"
 
+	"regpromo/internal/dataflow"
 	"regpromo/internal/ir"
 )
 
@@ -96,47 +97,45 @@ func Func(fn *ir.Func) int {
 		}
 	}
 
-	// Iterate in reverse postorder so every block (except the entry)
-	// sees at least one processed predecessor on the first sweep. A
-	// nil OUT means ⊤ — "not yet computed" — and such predecessors
-	// are skipped in the meet; they must never be treated as ∅, or
-	// the descent from ⊤ would lose monotonicity and could cycle.
-	rpo := reversePostorder(fn)
+	// Solve forward over the worklist kernel (reverse-postorder
+	// visits, so every block except the entry sees a processed
+	// predecessor on the first pass). A nil OUT means ⊤ — "not yet
+	// computed" — and such predecessors are skipped in the meet; they
+	// must never be treated as ∅, or the descent from ⊤ would lose
+	// monotonicity and could cycle.
 	in := make([]facts, n)
 	out := make([]facts, n)
-	for changed := true; changed; {
-		changed = false
-		for _, b := range rpo {
-			var cur facts
-			if b == fn.Entry {
-				cur = make(facts) // nothing is available at entry
-			} else {
-				first := true
-				for _, p := range b.Preds {
-					po := out[p.ID]
-					if po == nil {
-						continue // ⊤: contributes nothing to the meet
-					}
-					if first {
-						cur = po.clone()
-						first = false
-					} else {
-						cur = intersect(cur, po)
-					}
+	dataflow.SolveBlocks(fn, dataflow.Forward, func(b *ir.Block) bool {
+		var cur facts
+		if b == fn.Entry {
+			cur = make(facts) // nothing is available at entry
+		} else {
+			first := true
+			for _, p := range b.Preds {
+				po := out[p.ID]
+				if po == nil {
+					continue // ⊤: contributes nothing to the meet
 				}
-				if cur == nil {
-					// Every predecessor still ⊤: revisit next sweep.
-					continue
+				if first {
+					cur = po.clone()
+					first = false
+				} else {
+					cur = intersect(cur, po)
 				}
 			}
-			in[b.ID] = cur.clone()
-			transfer(b, cur, defCount, false)
-			if out[b.ID] == nil || !equal(out[b.ID], cur) {
-				out[b.ID] = cur
-				changed = true
+			if cur == nil {
+				// Every predecessor still ⊤: re-queued when one is.
+				return false
 			}
 		}
-	}
+		in[b.ID] = cur.clone()
+		transfer(b, cur, defCount, false)
+		if out[b.ID] == nil || !equal(out[b.ID], cur) {
+			out[b.ID] = cur
+			return true
+		}
+		return false
+	})
 
 	removed := 0
 	for _, b := range fn.Blocks {
@@ -146,29 +145,6 @@ func Func(fn *ir.Func) int {
 		removed += transfer(b, in[b.ID], defCount, true)
 	}
 	return removed
-}
-
-// reversePostorder lists reachable blocks, entry first.
-func reversePostorder(fn *ir.Func) []*ir.Block {
-	seen := make([]bool, len(fn.Blocks))
-	var post []*ir.Block
-	var walk func(b *ir.Block)
-	walk = func(b *ir.Block) {
-		if seen[b.ID] {
-			return
-		}
-		seen[b.ID] = true
-		for _, s := range b.Succs {
-			walk(s)
-		}
-		post = append(post, b)
-	}
-	walk(fn.Entry)
-	out := make([]*ir.Block, 0, len(post))
-	for i := len(post) - 1; i >= 0; i-- {
-		out = append(out, post[i])
-	}
-	return out
 }
 
 // transfer applies b's instructions to cur; in rewrite mode redundant

@@ -22,7 +22,7 @@ import (
 func promotePointer(m *ir.Module, fn *ir.Func, forest *cfg.LoopForest, opts Options) Stats {
 	var stats Stats
 	for _, l := range forest.PreorderLoops() {
-		stats.add(promotePointerInLoop(fn, l, opts))
+		stats.Add(promotePointerInLoop(fn, l, opts))
 	}
 	return stats
 }

@@ -54,7 +54,10 @@ type Stats struct {
 	StoresInserted int
 }
 
-func (s *Stats) add(o Stats) {
+// Add folds another function's statistics into s. The driver's
+// parallel middle end accumulates per-function results with it; the
+// fold is commutative, so the accumulation order does not matter.
+func (s *Stats) Add(o Stats) {
 	s.ScalarPromotions += o.ScalarPromotions
 	s.PointerPromotions += o.PointerPromotions
 	s.RefsRewritten += o.RefsRewritten
@@ -66,7 +69,7 @@ func (s *Stats) add(o Stats) {
 func Run(m *ir.Module, opts Options) Stats {
 	var total Stats
 	for _, fn := range m.FuncsInOrder() {
-		total.add(Func(m, fn, opts))
+		total.Add(Func(m, fn, opts))
 	}
 	return total
 }
@@ -79,9 +82,9 @@ func Func(m *ir.Module, fn *ir.Func, opts Options) Stats {
 		return stats
 	}
 	info := AnalyzeFunc(m, fn, forest)
-	stats.add(rewriteScalar(fn, forest, info, opts))
+	stats.Add(rewriteScalar(fn, forest, info, opts))
 	if opts.Pointer {
-		stats.add(promotePointer(m, fn, forest, opts))
+		stats.Add(promotePointer(m, fn, forest, opts))
 	}
 	return stats
 }
@@ -125,22 +128,23 @@ func AnalyzeFunc(m *ir.Module, fn *ir.Func, forest *cfg.LoopForest) *FuncInfo {
 			in := &b.Instrs[i]
 			switch in.Op {
 			case ir.OpSLoad, ir.OpCLoad, ir.OpSStore:
-				bExplicit[b.ID] = bExplicit[b.ID].With(in.Tag)
+				bExplicit[b.ID].Add(in.Tag)
 				if in.Op == ir.OpSStore {
-					bStored[b.ID] = bStored[b.ID].With(in.Tag)
+					bStored[b.ID].Add(in.Tag)
 				}
 				if prev, seen := sizeOf[in.Tag]; seen && prev != in.Size {
-					info.Disqualified = info.Disqualified.With(in.Tag)
+					info.Disqualified.Add(in.Tag)
 				} else {
 					sizeOf[in.Tag] = in.Size
 				}
 				if m.Tags.Get(in.Tag).Elem != in.Size {
-					info.Disqualified = info.Disqualified.With(in.Tag)
+					info.Disqualified.Add(in.Tag)
 				}
 			case ir.OpPLoad, ir.OpPStore:
-				bAmbiguous[b.ID] = bAmbiguous[b.ID].Union(in.Tags)
+				in.Tags.UnionInto(&bAmbiguous[b.ID])
 			case ir.OpJsr:
-				bAmbiguous[b.ID] = bAmbiguous[b.ID].Union(in.Mods).Union(in.Refs)
+				in.Mods.UnionInto(&bAmbiguous[b.ID])
+				in.Refs.UnionInto(&bAmbiguous[b.ID])
 			}
 		}
 	}
@@ -150,9 +154,9 @@ func AnalyzeFunc(m *ir.Module, fn *ir.Func, forest *cfg.LoopForest) *FuncInfo {
 	for _, l := range forest.PreorderLoops() {
 		ls := &LoopSets{Loop: l}
 		for b := range l.Blocks {
-			ls.Explicit = ls.Explicit.Union(bExplicit[b.ID])    // (1)
-			ls.Ambiguous = ls.Ambiguous.Union(bAmbiguous[b.ID]) // (2)
-			ls.Stored = ls.Stored.Union(bStored[b.ID])
+			bExplicit[b.ID].UnionInto(&ls.Explicit)   // (1)
+			bAmbiguous[b.ID].UnionInto(&ls.Ambiguous) // (2)
+			bStored[b.ID].UnionInto(&ls.Stored)
 		}
 		ls.Promotable = ls.Explicit.Minus(ls.Ambiguous).Minus(info.Disqualified) // (3)
 		if l.Parent == nil {

@@ -267,9 +267,9 @@ func (s *valnumState) killTags(tags ir.TagSet) {
 		s.memVal = make(map[ir.TagID]memFact)
 		return
 	}
-	for _, t := range tags.IDs() {
+	tags.ForEach(func(t ir.TagID) {
 		delete(s.memVal, t)
-	}
+	})
 }
 
 // foldInt evaluates op on two constants when defined.

@@ -10,7 +10,12 @@
 // promotion's benefit (§5).
 package regalloc
 
-import "regpromo/internal/ir"
+import (
+	"math/bits"
+
+	"regpromo/internal/dataflow"
+	"regpromo/internal/ir"
+)
 
 // bitset is a fixed-capacity bit vector over register numbers.
 type bitset []uint64
@@ -20,6 +25,14 @@ func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 func (s bitset) has(r ir.Reg) bool { return s[r/64]&(1<<(uint(r)%64)) != 0 }
 func (s bitset) add(r ir.Reg)      { s[r/64] |= 1 << (uint(r) % 64) }
 func (s bitset) del(r ir.Reg)      { s[r/64] &^= 1 << (uint(r) % 64) }
+
+func (s bitset) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 func (s bitset) orInto(o bitset) bool {
 	changed := false
@@ -42,21 +55,10 @@ func (s bitset) clone() bitset {
 func (s bitset) forEach(f func(ir.Reg)) {
 	for i, w := range s {
 		for w != 0 {
-			b := w & -w
-			r := ir.Reg(i*64 + popcount(b-1))
-			f(r)
-			w &^= b
+			f(ir.Reg(i*64 + bits.TrailingZeros64(w)))
+			w &= w - 1
 		}
 	}
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }
 
 // liveness computes per-block live-in/live-out sets.
@@ -89,27 +91,22 @@ func computeLiveness(fn *ir.Func) *liveness {
 		lv.liveIn[b.ID] = newBitset(nr)
 		lv.liveOut[b.ID] = newBitset(nr)
 	}
-	for changed := true; changed; {
-		changed = false
-		for i := len(fn.Blocks) - 1; i >= 0; i-- {
-			b := fn.Blocks[i]
-			out := lv.liveOut[b.ID]
-			for _, s := range b.Succs {
-				if out.orInto(lv.liveIn[s.ID]) {
-					changed = true
-				}
-			}
-			// in = use ∪ (out − def)
-			in := lv.liveIn[b.ID]
-			tmp := out.clone()
-			for j := range tmp {
-				tmp[j] &^= def[b.ID][j]
-				tmp[j] |= use[b.ID][j]
-			}
-			if in.orInto(tmp) {
-				changed = true
-			}
+	// Standard backward problem: out = ∪ succ in; in = use ∪ (out − def).
+	// The worklist visits blocks in postorder and only re-examines a
+	// block when a successor's live-in grew; the least fixpoint is the
+	// same one the old round-robin sweep computed.
+	tmp := newBitset(nr)
+	dataflow.SolveBlocks(fn, dataflow.Backward, func(b *ir.Block) bool {
+		out := lv.liveOut[b.ID]
+		for _, s := range b.Succs {
+			out.orInto(lv.liveIn[s.ID])
 		}
-	}
+		copy(tmp, out)
+		for j := range tmp {
+			tmp[j] &^= def[b.ID][j]
+			tmp[j] |= use[b.ID][j]
+		}
+		return lv.liveIn[b.ID].orInto(tmp)
+	})
 	return lv
 }

@@ -2,7 +2,7 @@ package regalloc
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"regpromo/internal/cfg"
 	"regpromo/internal/ir"
@@ -42,7 +42,9 @@ type Stats struct {
 	Rounds int
 }
 
-func (s *Stats) add(o Stats) {
+// Add folds per-function stats into a module total. Counters sum;
+// Rounds takes the worst function.
+func (s *Stats) Add(o Stats) {
 	s.Spilled += o.Spilled
 	s.SpillLoads += o.SpillLoads
 	s.SpillStores += o.SpillStores
@@ -56,19 +58,26 @@ func (s *Stats) add(o Stats) {
 func Run(m *ir.Module, opts Options) (Stats, error) {
 	var total Stats
 	for _, fn := range m.FuncsInOrder() {
-		st, err := Func(m, fn, opts)
+		st, err := Func(fn, opts, &m.Tags)
 		if err != nil {
 			return total, err
 		}
-		total.add(st)
+		total.Add(st)
 	}
 	return total, nil
 }
 
 // graph is the interference graph with coalescing union-find.
+//
+// Adjacency is a dense bit matrix: row r holds one bit per interfering
+// register. The rows are kept clean — they only ever contain current
+// union-find representatives, because every merge eagerly rewrites the
+// rows that mention the dying node — so a node's degree is just the
+// popcount of its row, instead of the find-resolve-and-dedup walk the
+// old map representation needed (formerly ~85% of compile time).
 type graph struct {
 	n     int
-	adj   []map[ir.Reg]bool
+	adj   []bitset // lazily allocated rows, each n bits
 	alias []ir.Reg // union-find parent (self when representative)
 	moves [][2]ir.Reg
 	cost  []float64
@@ -81,7 +90,7 @@ type graph struct {
 	// (Briggs-style rematerialization).
 	remat map[ir.Reg]ir.Instr
 	// defs counts definitions per register.
-	defs map[ir.Reg]int
+	defs []int
 }
 
 func (g *graph) find(r ir.Reg) ir.Reg {
@@ -97,7 +106,14 @@ func (g *graph) interferes(a, b ir.Reg) bool {
 	if a == b {
 		return false
 	}
-	return g.adj[a][b]
+	return g.adj[a] != nil && g.adj[a].has(b)
+}
+
+func (g *graph) row(r ir.Reg) bitset {
+	if g.adj[r] == nil {
+		g.adj[r] = newBitset(g.n)
+	}
+	return g.adj[r]
 }
 
 func (g *graph) addEdge(a, b ir.Reg) {
@@ -105,18 +121,14 @@ func (g *graph) addEdge(a, b ir.Reg) {
 	if a == b {
 		return
 	}
-	if g.adj[a] == nil {
-		g.adj[a] = make(map[ir.Reg]bool)
-	}
-	if g.adj[b] == nil {
-		g.adj[b] = make(map[ir.Reg]bool)
-	}
-	g.adj[a][b] = true
-	g.adj[b][a] = true
+	g.row(a).add(b)
+	g.row(b).add(a)
 }
 
-// Func allocates registers for one function.
-func Func(m *ir.Module, fn *ir.Func, opts Options) (Stats, error) {
+// Func allocates registers for one function. Spill slots are created
+// through tags, which is the module tag table in a serial compile and
+// a per-function staging allocator under the parallel middle-end.
+func Func(fn *ir.Func, opts Options, tags ir.TagAlloc) (Stats, error) {
 	k := opts.K
 	if k <= 0 {
 		k = DefaultK
@@ -144,7 +156,7 @@ func Func(m *ir.Module, fn *ir.Func, opts Options) (Stats, error) {
 			return stats, nil
 		}
 		before := fn.NumRegs
-		st := insertSpills(m, fn, spills, g)
+		st := insertSpills(fn, spills, g, tags)
 		for r := before; r < fn.NumRegs; r++ {
 			noSpill[ir.Reg(r)] = true
 		}
@@ -165,7 +177,7 @@ func build(fn *ir.Func) *graph {
 	lv := computeLiveness(fn)
 	g := &graph{
 		n:       fn.NumRegs,
-		adj:     make([]map[ir.Reg]bool, fn.NumRegs),
+		adj:     make([]bitset, fn.NumRegs),
 		alias:   make([]ir.Reg, fn.NumRegs),
 		cost:    make([]float64, fn.NumRegs),
 		isParam: make([]bool, fn.NumRegs),
@@ -177,7 +189,7 @@ func build(fn *ir.Func) *graph {
 		g.isParam[p] = true
 	}
 	g.remat = make(map[ir.Reg]ir.Instr)
-	g.defs = make(map[ir.Reg]int)
+	g.defs = make([]int, fn.NumRegs)
 	// Parameters carry an implicit entry definition, so an in-body
 	// constant assignment to one is never rematerializable.
 	for _, p := range fn.Params {
@@ -229,9 +241,7 @@ func build(fn *ir.Func) *graph {
 			}
 		}
 		if debugRounds {
-			n := 0
-			live.forEach(func(r ir.Reg) { n++ })
-			if n > maxLiveSeen {
+			if n := live.count(); n > maxLiveSeen {
 				maxLiveSeen = n
 				fmt.Printf("  maxlive %d at top of %s\n", n, b.Label)
 			}
@@ -259,7 +269,7 @@ func build(fn *ir.Func) *graph {
 	// allocator toward choosing them under pressure.
 	for r, n := range g.defs {
 		if n == 1 {
-			if _, ok := g.remat[r]; ok {
+			if _, ok := g.remat[ir.Reg(r)]; ok {
 				g.cost[r] *= 0.01
 			}
 		}
@@ -267,19 +277,15 @@ func build(fn *ir.Func) *graph {
 	return g
 }
 
-// degreeOf counts r's distinct live neighbors (resolving aliases:
-// adjacency sets accumulate stale entries as classes merge, and the
-// stale duplicates must not inflate the conservative tests).
+// degreeOf counts r's distinct live neighbors. Rows hold only current
+// representatives (merges rewrite them eagerly), so the degree is the
+// row's popcount.
 func (g *graph) degreeOf(r ir.Reg) int {
 	r = g.find(r)
-	seen := map[ir.Reg]bool{}
-	for n := range g.adj[r] {
-		n = g.find(n)
-		if n != r {
-			seen[n] = true
-		}
+	if g.adj[r] == nil {
+		return 0
 	}
-	return len(seen)
+	return g.adj[r].count()
 }
 
 // canCoalesce applies the Briggs test (combined node has fewer than K
@@ -288,16 +294,30 @@ func (g *graph) degreeOf(r ir.Reg) int {
 // insignificant), either of which guarantees coalescing cannot turn a
 // colorable graph uncolorable.
 func (g *graph) canCoalesce(a, b ir.Reg, k int) bool {
-	// Briggs.
+	// Briggs, over the union of both neighborhoods.
 	high := 0
-	seen := map[ir.Reg]bool{}
-	for _, nb := range []map[ir.Reg]bool{g.adj[a], g.adj[b]} {
-		for r := range nb {
-			r = g.find(r)
-			if r == a || r == b || seen[r] {
+	ra, rb := g.adj[a], g.adj[b]
+	nw := 0
+	if ra != nil {
+		nw = len(ra)
+	}
+	if rb != nil && len(rb) > nw {
+		nw = len(rb)
+	}
+	for i := 0; i < nw; i++ {
+		var w uint64
+		if ra != nil {
+			w = ra[i]
+		}
+		if rb != nil {
+			w |= rb[i]
+		}
+		for w != 0 {
+			r := ir.Reg(i*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+			if r == a || r == b {
 				continue
 			}
-			seen[r] = true
 			if g.degreeOf(r) >= k {
 				high++
 			}
@@ -308,17 +328,21 @@ func (g *graph) canCoalesce(a, b ir.Reg, k int) bool {
 	}
 	// George, both orientations.
 	george := func(x, y ir.Reg) bool {
-		for r := range g.adj[y] {
-			r = g.find(r)
-			if r == x || r == y {
-				continue
-			}
-			if g.degreeOf(r) < k || g.adj[x][r] {
-				continue
-			}
-			return false
+		ok := true
+		if g.adj[y] == nil {
+			return true
 		}
-		return true
+		xrow := g.adj[x]
+		g.adj[y].forEach(func(r ir.Reg) {
+			if !ok || r == x {
+				return
+			}
+			if g.degreeOf(r) < k || (xrow != nil && xrow.has(r)) {
+				return
+			}
+			ok = false
+		})
+		return ok
 	}
 	return george(a, b) || george(b, a)
 }
@@ -345,21 +369,23 @@ func coalesce(g *graph, k int) int {
 			if !g.canCoalesce(a, b, k) {
 				continue
 			}
-			// Merge b into a.
+			// Merge b into a, eagerly rewriting every row that
+			// mentions b so rows keep holding representatives only.
 			g.alias[b] = a
-			if g.adj[a] == nil {
-				g.adj[a] = make(map[ir.Reg]bool)
+			arow := g.row(a)
+			if g.adj[b] != nil {
+				g.adj[b].forEach(func(r ir.Reg) {
+					if r == a {
+						return
+					}
+					arow.add(r)
+					g.adj[r].del(b)
+					g.adj[r].add(a)
+				})
+				g.adj[b] = nil
 			}
-			for r := range g.adj[b] {
-				r2 := g.find(r)
-				if r2 == a {
-					continue
-				}
-				g.adj[a][r2] = true
-				delete(g.adj[r2], b)
-				g.adj[r2][a] = true
-			}
-			g.adj[b] = nil
+			arow.del(a)
+			arow.del(b)
 			g.isParam[a] = g.isParam[a] || g.isParam[b]
 			g.cost[a] += g.cost[b]
 			merged++
@@ -370,75 +396,76 @@ func coalesce(g *graph, k int) int {
 }
 
 // color runs simplify/select with optimistic spilling; it returns the
-// color assignment and the registers that must spill. Classes
-// containing a register from noSpill are chosen as spill candidates
-// only when nothing else is available.
-func color(g *graph, fn *ir.Func, k int, noSpill map[ir.Reg]bool) (map[ir.Reg]int, []ir.Reg) {
-	noSpillRep := make(map[ir.Reg]bool, len(noSpill))
+// color assignment (indexed by representative, -1 = spilled/absent)
+// and the registers that must spill. Classes containing a register
+// from noSpill are chosen as spill candidates only when nothing else
+// is available.
+func color(g *graph, fn *ir.Func, k int, noSpill map[ir.Reg]bool) ([]int, []ir.Reg) {
+	noSpillRep := newBitset(g.n)
 	for r := range noSpill {
 		if int(r) < g.n {
-			noSpillRep[g.find(r)] = true
+			noSpillRep.add(g.find(r))
 		}
 	}
 	// Collect representative nodes actually used.
-	reps := map[ir.Reg]bool{}
+	reps := newBitset(g.n)
 	var buf [8]ir.Reg
 	for _, b := range fn.Blocks {
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			if d := in.Def(); d != ir.RegInvalid {
-				reps[g.find(d)] = true
+				reps.add(g.find(d))
 			}
 			for _, u := range in.Uses(buf[:0]) {
-				reps[g.find(u)] = true
+				reps.add(g.find(u))
 			}
 		}
 	}
 	for _, p := range fn.Params {
-		reps[g.find(p)] = true
+		reps.add(g.find(p))
 	}
+	var repList []ir.Reg
+	reps.forEach(func(r ir.Reg) { repList = append(repList, r) })
 
-	// Working degree map.
-	deg := map[ir.Reg]int{}
-	adj := map[ir.Reg]map[ir.Reg]bool{}
-	for r := range reps {
-		adj[r] = map[ir.Reg]bool{}
-		for n := range g.adj[r] {
-			n = g.find(n)
-			if n != r && reps[n] {
-				adj[r][n] = true
+	// Working adjacency restricted to used representatives, with an
+	// incrementally maintained degree array.
+	adj := make([]bitset, g.n)
+	deg := make([]int, g.n)
+	for _, r := range repList {
+		row := newBitset(g.n)
+		if g.adj[r] != nil {
+			copy(row, g.adj[r])
+			for i := range row {
+				row[i] &= reps[i]
 			}
+			row.del(r)
 		}
-	}
-	for r := range reps {
-		deg[r] = len(adj[r])
+		adj[r] = row
+		deg[r] = row.count()
 	}
 
-	removed := map[ir.Reg]bool{}
+	removed := newBitset(g.n)
 	var stack []ir.Reg
-	remaining := len(reps)
+	remaining := len(repList)
 	for remaining > 0 {
-		// Pick a trivially colorable node; otherwise the cheapest
-		// spill candidate (optimistically pushed).
+		// Pick a trivially colorable node (lowest-numbered first);
+		// otherwise the cheapest spill candidate (optimistically
+		// pushed).
 		var pick ir.Reg = ir.RegInvalid
 		var pickSpill ir.Reg = ir.RegInvalid
 		var pickLast ir.Reg = ir.RegInvalid
 		bestCost := 0.0
 		lastCost := 0.0
-		var order []ir.Reg
-		for r := range reps {
-			if !removed[r] {
-				order = append(order, r)
+		for _, r := range repList {
+			if removed.has(r) {
+				continue
 			}
-		}
-		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-		for _, r := range order {
 			if deg[r] < k {
 				pick = r
 				break
 			}
 			c := g.cost[r] / float64(deg[r]+1)
-			if noSpillRep[r] {
+			if noSpillRep.has(r) {
 				if pickLast == ir.RegInvalid || c < lastCost {
 					pickLast = r
 					lastCost = c
@@ -456,26 +483,32 @@ func color(g *graph, fn *ir.Func, k int, noSpill map[ir.Reg]bool) (map[ir.Reg]in
 		if pick == ir.RegInvalid {
 			pick = pickLast
 		}
-		removed[pick] = true
+		removed.add(pick)
 		stack = append(stack, pick)
-		for n := range adj[pick] {
-			if !removed[n] {
+		adj[pick].forEach(func(n ir.Reg) {
+			if !removed.has(n) {
 				deg[n]--
 			}
-		}
+		})
 		remaining--
 	}
 
-	colors := map[ir.Reg]int{}
+	colors := make([]int, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	used := make([]bool, k)
 	var spills []ir.Reg
 	for i := len(stack) - 1; i >= 0; i-- {
 		r := stack[i]
-		used := map[int]bool{}
-		for n := range adj[r] {
-			if c, ok := colors[n]; ok {
+		for j := range used {
+			used[j] = false
+		}
+		adj[r].forEach(func(n ir.Reg) {
+			if c := colors[n]; c >= 0 {
 				used[c] = true
 			}
-		}
+		})
 		c := -1
 		for j := 0; j < k; j++ {
 			if !used[j] {
@@ -495,13 +528,13 @@ func color(g *graph, fn *ir.Func, k int, noSpill map[ir.Reg]bool) (map[ir.Reg]in
 // rewrite renames every register to its color and drops copies whose
 // ends received the same color. It returns the number of copies
 // removed.
-func rewrite(fn *ir.Func, g *graph, colors map[ir.Reg]int) int {
+func rewrite(fn *ir.Func, g *graph, colors []int) int {
 	rename := func(r ir.Reg) ir.Reg {
 		if r == ir.RegInvalid {
 			return r
 		}
-		c, ok := colors[g.find(r)]
-		if !ok {
+		c := colors[g.find(r)]
+		if c < 0 {
 			// Dead register (never used): park it in color 0.
 			return 0
 		}

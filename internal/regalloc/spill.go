@@ -12,7 +12,7 @@ import (
 // The inserted sLoad/sStore operations are real memory traffic and
 // count exactly like any other load or store — spilling is how
 // over-eager promotion loses (§5, water).
-func insertSpills(m *ir.Module, fn *ir.Func, spills []ir.Reg, g *graph) Stats {
+func insertSpills(fn *ir.Func, spills []ir.Reg, g *graph, tags ir.TagAlloc) Stats {
 	var stats Stats
 	find := g.find
 
@@ -50,7 +50,7 @@ func insertSpills(m *ir.Module, fn *ir.Func, spills []ir.Reg, g *graph) Stats {
 		if _, isRemat := remat[r]; isRemat {
 			continue
 		}
-		tag := m.Tags.NewTag(
+		tag := tags.NewTag(
 			fmt.Sprintf("%s.spill#%d", fn.Name, len(fn.Locals)),
 			ir.TagSpill, fn.Name, 8, 8)
 		tag.Strong = true
