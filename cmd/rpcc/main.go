@@ -20,6 +20,11 @@
 //	-json                      emit the whole compilation record — pass
 //	                           events, promotion and allocation
 //	                           statistics — as one JSON object
+//	-check LEVEL               run the internal/check lint passes:
+//	                           "module" once after the pipeline,
+//	                           "pass" after the front end and after
+//	                           every pass (pinpoints the first pass
+//	                           that breaks an invariant)
 //
 // The promotion and allocation summaries always follow the IL as
 // ";"-prefixed comment lines, so downstream IL consumers can skip them.
@@ -27,6 +32,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +60,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the per-pass trace table")
 	dumpIR := flag.String("dump-ir", "", "print the IL after the named pass (\"all\" = every pass)")
 	jsonOut := flag.Bool("json", false, "emit the compilation record as JSON")
+	checkFlag := flag.String("check", "off", `IL checker level: "off", "module", or "pass" (after every pass)`)
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -86,6 +93,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpcc: unknown analysis %q (want modref or pointer)\n", *analysis)
 		os.Exit(2)
 	}
+	level, err := driver.ParseCheckLevel(*checkFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpcc:", err)
+		os.Exit(2)
+	}
+	cfg.Check = level
 
 	// Observe the pipeline whenever any telemetry output was asked for.
 	var pipe *obs.Pipeline
@@ -94,6 +107,14 @@ func main() {
 	}
 	c, err := driver.Compile(path, string(src), cfg, pipe)
 	if err != nil {
+		var ce *driver.CheckError
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "rpcc: %d check failure(s) after %s:\n", len(ce.Diags), ce.Pass)
+			for _, d := range ce.Diags {
+				fmt.Fprintln(os.Stderr, " ", d)
+			}
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "rpcc:", err)
 		os.Exit(1)
 	}

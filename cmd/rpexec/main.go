@@ -10,7 +10,10 @@
 // It accepts the same configuration flags as rpcc, plus -profile,
 // which prints an execution profile: the hottest basic blocks by
 // execution count and the per-tag dynamic memory traffic (-top bounds
-// both lists). -engine selects the interpreter engine (flat, the
+// both lists). -sanitize runs the program under the analysis-soundness
+// sanitizer: every memory access is diffed against the static MOD/REF
+// and points-to sets, and any access outside them is reported with
+// function/block/instruction provenance (exit status 1). -engine selects the interpreter engine (flat, the
 // pre-lowered default, or switch, the block-walking reference); both
 // produce identical counts, so the choice only changes wall time.
 // -cpuprofile writes a Go pprof profile of the whole compile+run, for
@@ -41,6 +44,7 @@ func main() {
 	profile := flag.Bool("profile", false, "collect and print a hot-spot profile")
 	top := flag.Int("top", 10, "profile list length (with -profile)")
 	engineName := flag.String("engine", "flat", "interpreter engine: flat or switch")
+	sanitize := flag.Bool("sanitize", false, "diff observed memory behaviour against the static analyses")
 	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the compile+run to this file")
 	flag.Parse()
 
@@ -100,7 +104,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rpexec:", err)
 		os.Exit(1)
 	}
-	res, err := c.Execute(interp.Options{MaxSteps: *maxSteps, Profile: *profile, Engine: engine})
+	res, err := c.Execute(interp.Options{MaxSteps: *maxSteps, Profile: *profile, Engine: engine, Sanitize: *sanitize})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpexec:", err)
 		os.Exit(1)
@@ -113,5 +117,12 @@ func main() {
 		res.Counts.Copies, res.Counts.Calls)
 	if res.Profile != nil {
 		fmt.Print(res.Profile.Format(*top))
+	}
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "rpexec: sanitizer: %d violation(s):\n", len(res.Violations))
+		for _, d := range res.Violations {
+			fmt.Fprintln(os.Stderr, " ", d)
+		}
+		os.Exit(1)
 	}
 }

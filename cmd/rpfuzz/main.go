@@ -21,6 +21,10 @@
 //	              additionally executes every compilation on the
 //	              switch reference engine and flags any flat-vs-switch
 //	              disagreement (counts included) as a divergence
+//	-sanitize     additionally run every execution under the
+//	              analysis-soundness sanitizer; a memory access outside
+//	              the static MOD/REF or points-to sets is a divergence,
+//	              archived like any other
 //	-noreduce     archive failures without shrinking them first
 //	-corpus DIR   failure artifact directory (default difftest/corpus)
 //	-v            log each divergent seed as it is found
@@ -49,6 +53,7 @@ func main() {
 	noreduce := flag.Bool("noreduce", false, "skip delta-debugging reduction of failures")
 	corpus := flag.String("corpus", "difftest/corpus", "failure artifact directory")
 	engines := flag.String("engines", "flat", `interpreter engines: "flat" or "both" (flat vs switch cross-check)`)
+	sanitize := flag.Bool("sanitize", false, "run executions under the analysis-soundness sanitizer")
 	verbose := flag.Bool("v", false, "log each divergence as it is found")
 	flag.Parse()
 	if *seeds <= 0 {
@@ -66,6 +71,7 @@ func main() {
 		Parallel:    *parallel,
 		Short:       *short,
 		BothEngines: *engines == "both",
+		Sanitize:    *sanitize,
 		Reduce:      !*noreduce,
 		CorpusDir:   *corpus,
 	}

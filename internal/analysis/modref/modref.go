@@ -273,6 +273,21 @@ func (r *Result) callSiteEffects(m *ir.Module, cg *callgraph.Graph, caller strin
 	return mods, refs
 }
 
+// IntrinsicSignature describes the call interface of a runtime
+// intrinsic: its argument count and whether it produces a value.
+// ok is false for names that are not intrinsics. The table mirrors
+// sema.Builtins and the interpreter's dispatch; internal/check lints
+// call sites against it.
+func IntrinsicSignature(name string) (arity int, returns bool, ok bool) {
+	switch name {
+	case "print_int", "print_char", "print_double", "print_str", "free":
+		return 1, false, true
+	case "malloc":
+		return 1, true, true
+	}
+	return 0, false, false
+}
+
 // resolved returns the effect sets of a named callee: a computed
 // summary for defined functions, the built-in model for intrinsics,
 // and ok=false for unknown externals.

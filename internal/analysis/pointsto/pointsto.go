@@ -95,6 +95,21 @@ func (r *Result) RegPointsTo(fn string, reg ir.Reg) ir.TagSet {
 // to.
 func (r *Result) MemPointsTo(tag ir.TagID) ir.TagSet { return r.mem[tag].tags }
 
+// AddrTakenSet returns the set of tags whose address the program can
+// observe — the universe every pointer may-set is drawn from. After
+// analysis narrows pointer operations, any tag set mentioning a tag
+// outside this universe indicates a broken invariant; internal/check
+// lints against it.
+func AddrTakenSet(m *ir.Module) ir.TagSet {
+	var s ir.TagSet
+	for _, tag := range m.Tags.All() {
+		if tag.AddrTaken {
+			s.Add(tag.ID)
+		}
+	}
+	return s
+}
+
 // Run analyzes the module, then narrows the tag sets of pointer-based
 // memory operations and the target sets of indirect calls in place.
 func Run(m *ir.Module, cg *callgraph.Graph) *Result {

@@ -1,0 +1,68 @@
+package check
+
+import (
+	"fmt"
+
+	"regpromo/internal/ir"
+)
+
+// runCFG checks graph-level hygiene the structural verifier leaves
+// alone: block ids must be dense and unique (the dominator and
+// dataflow kernels index arrays by them), every block must be
+// reachable from the entry (passes call RemoveUnreachable after
+// editing the graph), and each return must agree with the function's
+// declared result arity.
+func runCFG(c *Context) []Diag {
+	var ds []Diag
+	for _, fn := range c.Module.FuncsInOrder() {
+		if fn.Entry == nil {
+			continue // verify reports this
+		}
+		seen := make([]bool, len(fn.Blocks))
+		for _, b := range fn.Blocks {
+			if int(b.ID) < 0 || int(b.ID) >= len(fn.Blocks) || seen[b.ID] {
+				ds = append(ds, Diag{Check: "cfg", Func: fn.Name, Block: b.Label, Index: -1,
+					Msg: fmt.Sprintf("block id %d not dense/unique (Renumber needed)", b.ID)})
+				continue
+			}
+			seen[b.ID] = true
+		}
+		reach := make(map[*ir.Block]bool, len(fn.Blocks))
+		for _, b := range fn.ReachableBlocks() {
+			reach[b] = true
+		}
+		for _, b := range fn.Blocks {
+			if !reach[b] {
+				ds = append(ds, Diag{Check: "cfg", Func: fn.Name, Block: b.Label, Index: -1, Msg: "unreachable block"})
+			}
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpRet {
+					continue
+				}
+				if in.HasValue && !fn.HasVarRet {
+					ds = append(ds, Diag{Check: "cfg", Func: fn.Name, Block: b.Label, Index: i, Op: in.Op,
+						Msg: "returns a value from a function declared without one"})
+				} else if !in.HasValue && fn.HasVarRet {
+					ds = append(ds, Diag{Check: "cfg", Func: fn.Name, Block: b.Label, Index: i, Op: in.Op,
+						Msg: "returns no value from a function declared with one"})
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// denseIDs reports whether fn's block ids are dense and unique, the
+// precondition for dataflow.SolveBlocks. The cfg lint diagnoses the
+// violation; other passes use this to skip such functions safely.
+func denseIDs(fn *ir.Func) bool {
+	seen := make([]bool, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		if int(b.ID) < 0 || int(b.ID) >= len(fn.Blocks) || seen[b.ID] {
+			return false
+		}
+		seen[b.ID] = true
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+// Package check is the compiler's static correctness subsystem: a
+// registry of lint passes over the IL that go beyond ir.Verify's
+// structural checks — use-before-def of virtual registers (a forward
+// may-reach dataflow), CFG hygiene, call arity/signature discipline
+// against the callgraph table, Table-1 tag discipline, and the
+// promotion invariant (no access to a promoted location survives
+// inside its region). The driver runs the registry at
+// Config.CheckLevel granularity; rpcc exposes it as -check/-checkall.
+//
+// The dynamic half of the subsystem — the analysis-soundness
+// sanitizer that diffs observed MOD/REF/points-to behaviour against
+// the static sets — lives in internal/interp (Options.Sanitize) and
+// reports through the same ir.Diag type.
+package check
+
+import (
+	"regpromo/internal/callgraph"
+	"regpromo/internal/ir"
+	"regpromo/internal/opt/promote"
+)
+
+// Diag is the canonical diagnostic type shared by the verifier, the
+// lint passes, and the interpreter sanitizer. It aliases ir.Diag so
+// lower layers can produce diagnostics without importing check; every
+// tool prints Diag.String, so output never drifts between rpcc,
+// rpexec, and rpfuzz.
+type Diag = ir.Diag
+
+// Context carries everything a lint pass may consult.
+type Context struct {
+	Module *ir.Module
+
+	// AnalysisDone marks that interprocedural analysis has run:
+	// every call site carries MOD/REF summaries and pointer
+	// operations have had ⊤ tag sets limited to the visible set.
+	// The tag-discipline lint enforces the stricter post-analysis
+	// invariants only when this is set.
+	AnalysisDone bool
+
+	// Regions are the promoted regions recorded by the promote pass;
+	// empty before it runs (the promotion-invariant lint is then
+	// vacuous).
+	Regions []promote.Region
+
+	graph *callgraph.Graph
+}
+
+// Graph returns the module's call graph, built on first use.
+func (c *Context) Graph() *callgraph.Graph {
+	if c.graph == nil {
+		c.graph = callgraph.Build(c.Module)
+	}
+	return c.graph
+}
+
+// Pass is one registered lint pass.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(*Context) []Diag
+}
+
+// Passes returns the registry in canonical execution order. The
+// structural verifier runs first; the deeper passes assume its
+// invariants (blocks terminated, registers and tags in range).
+func Passes() []Pass {
+	return []Pass{
+		{Name: "verify", Doc: "structural well-formedness: terminators, edges, register and tag ranges", Run: func(c *Context) []Diag { return ir.VerifyModuleAll(c.Module) }},
+		{Name: "cfg", Doc: "CFG hygiene: dense block ids, no unreachable blocks, ret/HasVarRet agreement", Run: runCFG},
+		{Name: "uninit", Doc: "use of a virtual register that no definition may reach (forward dataflow)", Run: runUninit},
+		{Name: "arity", Doc: "call arity/signature discipline against defined functions and intrinsics", Run: runArity},
+		{Name: "tags", Doc: "Table-1 tag discipline: kinds, ownership, ⊤ only where the hierarchy permits", Run: runTags},
+		{Name: "promoted", Doc: "promotion invariant: no access to a promoted location inside its region", Run: runPromoted},
+	}
+}
+
+// Module runs every registered pass over the module and returns the
+// combined diagnostics in registry order. When the structural
+// verifier itself reports violations, only those are returned — the
+// deeper passes would chase the same breakage (or crash on it).
+func Module(ctx *Context) []Diag {
+	var ds []Diag
+	for i, p := range Passes() {
+		out := p.Run(ctx)
+		if i == 0 && len(out) > 0 {
+			return out
+		}
+		ds = append(ds, out...)
+	}
+	return ds
+}

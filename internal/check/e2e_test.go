@@ -1,0 +1,39 @@
+package check_test
+
+import (
+	"errors"
+	"testing"
+
+	"regpromo/internal/bench"
+	"regpromo/internal/driver"
+)
+
+// TestEveryPassCleanOnSuite is the subsystem's own soundness gate:
+// compiling the entire benchmark suite under the full differential
+// matrix with CheckLevel = after-every-pass must produce zero
+// diagnostics — the front end and every pass leave the module
+// lint-clean at every boundary.
+func TestEveryPassCleanOnSuite(t *testing.T) {
+	for _, p := range bench.Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			src := bench.Source(p)
+			for _, nc := range driver.DifferentialConfigurations(testing.Short()) {
+				cfg := nc.Config
+				cfg.Check = driver.CheckEveryPass
+				if _, err := driver.CompileSource(p.Name+".c", src, cfg); err != nil {
+					var ce *driver.CheckError
+					if errors.As(err, &ce) {
+						t.Errorf("%s: check failed after %s:", nc.Name, ce.Pass)
+						for _, d := range ce.Diags {
+							t.Errorf("  %s", d)
+						}
+						continue
+					}
+					t.Errorf("%s: %v", nc.Name, err)
+				}
+			}
+		})
+	}
+}

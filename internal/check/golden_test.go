@@ -1,0 +1,262 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"regpromo/internal/check"
+	"regpromo/internal/ir"
+	"regpromo/internal/opt/promote"
+)
+
+// mkMain builds a minimal well-formed module — one function "main"
+// returning a value — and hands its entry block to the test for
+// corruption. The entry terminator (ret r0, with r0 defined) is
+// appended after build runs, so tests prepend their bad instructions.
+func mkMain(build func(m *ir.Module, fn *ir.Func, entry *ir.Block)) *ir.Module {
+	m := ir.NewModule()
+	fn := &ir.Func{Name: "main", HasVarRet: true}
+	entry := fn.NewBlock("")
+	fn.Entry = entry
+	m.AddFunc(fn)
+	build(m, fn, entry)
+	r := fn.NewReg()
+	entry.Instrs = append(entry.Instrs,
+		ir.Instr{Op: ir.OpLoadI, Dst: r, Imm: 0},
+		ir.Instr{Op: ir.OpRet, A: r, HasValue: true})
+	return m
+}
+
+// runPass runs one named pass from the registry over a fresh context.
+func runPass(t *testing.T, name string, ctx *check.Context) []check.Diag {
+	t.Helper()
+	for _, p := range check.Passes() {
+		if p.Name == name {
+			return p.Run(ctx)
+		}
+	}
+	t.Fatalf("no pass named %q in the registry", name)
+	return nil
+}
+
+// wantDiag asserts exactly one diagnostic whose check and message
+// match, and that its provenance names the function.
+func wantDiag(t *testing.T, ds []check.Diag, checkName, msgPart string) {
+	t.Helper()
+	if len(ds) != 1 {
+		t.Fatalf("got %d diagnostics %v, want 1", len(ds), ds)
+	}
+	d := ds[0]
+	if d.Check != checkName {
+		t.Errorf("check = %q, want %q", d.Check, checkName)
+	}
+	if !strings.Contains(d.Msg, msgPart) {
+		t.Errorf("msg = %q, want substring %q", d.Msg, msgPart)
+	}
+	if d.Func != "main" {
+		t.Errorf("func = %q, want main", d.Func)
+	}
+	if !strings.HasPrefix(d.String(), "[") || !strings.Contains(d.String(), checkName) {
+		t.Errorf("stable string form broken: %q", d.String())
+	}
+}
+
+func TestUseBeforeDef(t *testing.T) {
+	m := mkMain(func(_ *ir.Module, fn *ir.Func, entry *ir.Block) {
+		// r1 = copy r0 with r0 never defined anywhere (and not a
+		// parameter): no definition may reach the use.
+		a, b := fn.NewReg(), fn.NewReg()
+		entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.OpCopy, Dst: b, A: a})
+	})
+	ds := runPass(t, "uninit", &check.Context{Module: m})
+	wantDiag(t, ds, "uninit", "no definition reaches")
+}
+
+func TestUseBeforeDefMayReachIsQuiet(t *testing.T) {
+	// A definition on only ONE path is may-reach: the lint must stay
+	// quiet (it reports only uses no definition can ever reach).
+	m := ir.NewModule()
+	fn := &ir.Func{Name: "main", HasVarRet: true}
+	entry := fn.NewBlock("")
+	left := fn.NewBlock("")
+	join := fn.NewBlock("")
+	fn.Entry = entry
+	m.AddFunc(fn)
+	c, v := fn.NewReg(), fn.NewReg()
+	entry.Instrs = []ir.Instr{
+		{Op: ir.OpLoadI, Dst: c, Imm: 1},
+		{Op: ir.OpCBr, A: c},
+	}
+	ir.AddEdge(entry, left)
+	ir.AddEdge(entry, join)
+	left.Instrs = []ir.Instr{{Op: ir.OpLoadI, Dst: v, Imm: 7}, {Op: ir.OpBr}}
+	ir.AddEdge(left, join)
+	join.Instrs = []ir.Instr{{Op: ir.OpRet, A: v, HasValue: true}}
+	if ds := runPass(t, "uninit", &check.Context{Module: m}); len(ds) != 0 {
+		t.Fatalf("may-reach definition flagged: %v", ds)
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	m := mkMain(func(_ *ir.Module, fn *ir.Func, entry *ir.Block) {
+		dead := fn.NewBlock("")
+		dead.Instrs = []ir.Instr{{Op: ir.OpBr}}
+		ir.AddEdge(dead, entry)
+	})
+	ds := runPass(t, "cfg", &check.Context{Module: m})
+	wantDiag(t, ds, "cfg", "unreachable block")
+}
+
+func TestDanglingBranchTarget(t *testing.T) {
+	// A successor edge into a block that is not in the function is the
+	// structural verifier's job; check.Module must return only the
+	// verifier's diagnostics (deeper passes would chase the breakage).
+	stray := &ir.Block{ID: 0, Label: "stray"}
+	stray.Instrs = []ir.Instr{{Op: ir.OpRet, A: ir.RegInvalid}}
+	m := mkMain(func(_ *ir.Module, fn *ir.Func, entry *ir.Block) {
+		entry.Instrs = append(entry.Instrs, ir.Instr{Op: ir.OpBr})
+		ir.AddEdge(entry, stray)
+	})
+	ds := check.Module(&check.Context{Module: m})
+	if len(ds) == 0 {
+		t.Fatal("dangling branch target accepted")
+	}
+	for _, d := range ds {
+		if d.Check != "verify" {
+			t.Errorf("non-verify diag %v leaked past a broken module", d)
+		}
+	}
+}
+
+func TestBadCallArity(t *testing.T) {
+	m := mkMain(func(m *ir.Module, fn *ir.Func, entry *ir.Block) {
+		f := &ir.Func{Name: "f"}
+		p := f.NewReg()
+		f.Params = []ir.Reg{p}
+		fb := f.NewBlock("")
+		f.Entry = fb
+		fb.Instrs = []ir.Instr{{Op: ir.OpRet, A: ir.RegInvalid}}
+		m.AddFunc(f)
+		// Call f() with no arguments; f wants one.
+		entry.Instrs = append(entry.Instrs,
+			ir.Instr{Op: ir.OpJsr, Callee: "f", Dst: ir.RegInvalid})
+	})
+	ds := runPass(t, "arity", &check.Context{Module: m})
+	wantDiag(t, ds, "arity", "with 0 args, want 1")
+}
+
+func TestBadIntrinsicArity(t *testing.T) {
+	m := mkMain(func(_ *ir.Module, fn *ir.Func, entry *ir.Block) {
+		a, b := fn.NewReg(), fn.NewReg()
+		entry.Instrs = append(entry.Instrs,
+			ir.Instr{Op: ir.OpLoadI, Dst: a, Imm: 1},
+			ir.Instr{Op: ir.OpLoadI, Dst: b, Imm: 2},
+			ir.Instr{Op: ir.OpJsr, Callee: "print_int", Args: []ir.Reg{a, b}, Dst: ir.RegInvalid})
+	})
+	ds := runPass(t, "arity", &check.Context{Module: m})
+	wantDiag(t, ds, "arity", "with 2 args, want 1")
+}
+
+func TestInvalidTagRange(t *testing.T) {
+	// A tag id outside the TagTable is structural: the verifier owns
+	// it, and via the registry it is the only report.
+	m := mkMain(func(_ *ir.Module, fn *ir.Func, entry *ir.Block) {
+		r := fn.NewReg()
+		entry.Instrs = append(entry.Instrs,
+			ir.Instr{Op: ir.OpSLoad, Dst: r, Tag: 99, Size: 8})
+	})
+	ds := check.Module(&check.Context{Module: m})
+	wantDiag(t, ds, "verify", "tag")
+}
+
+func TestScalarAccessToHeapTag(t *testing.T) {
+	m := mkMain(func(m *ir.Module, fn *ir.Func, entry *ir.Block) {
+		h := m.Tags.NewTag("heap@1", ir.TagHeap, "", 8, 8)
+		r := fn.NewReg()
+		entry.Instrs = append(entry.Instrs,
+			ir.Instr{Op: ir.OpSLoad, Dst: r, Tag: h.ID, Size: 8})
+	})
+	ds := runPass(t, "tags", &check.Context{Module: m})
+	wantDiag(t, ds, "tags", "scalar access to heap tag")
+}
+
+func TestTopSetSurvivesAnalysis(t *testing.T) {
+	m := mkMain(func(_ *ir.Module, fn *ir.Func, entry *ir.Block) {
+		a, r := fn.NewReg(), fn.NewReg()
+		entry.Instrs = append(entry.Instrs,
+			ir.Instr{Op: ir.OpLoadI, Dst: a, Imm: 0},
+			ir.Instr{Op: ir.OpPLoad, Dst: r, A: a, Size: 8, Tags: ir.TopSet()})
+	})
+	// Before analysis ⊤ is the legal conservative answer…
+	if ds := runPass(t, "tags", &check.Context{Module: m}); len(ds) != 0 {
+		t.Fatalf("pre-analysis ⊤ flagged: %v", ds)
+	}
+	// …after analysis it must have been narrowed.
+	ds := runPass(t, "tags", &check.Context{Module: m, AnalysisDone: true})
+	wantDiag(t, ds, "tags", "⊤ tag set survives")
+}
+
+func TestResidualPromotedAccess(t *testing.T) {
+	var region promote.Region
+	m := mkMain(func(m *ir.Module, fn *ir.Func, entry *ir.Block) {
+		g := m.Tags.NewTag("g", ir.TagGlobal, "", 8, 8)
+		r := fn.NewReg()
+		// A load of the promoted tag left behind inside the region
+		// body — exactly what promotion must have rewritten away.
+		entry.Instrs = append(entry.Instrs,
+			ir.Instr{Op: ir.OpSLoad, Dst: r, Tag: g.ID, Size: 8})
+		region = promote.Region{Func: "main", Tag: g.ID, Body: []*ir.Block{entry}}
+	})
+	ds := runPass(t, "promoted", &check.Context{Module: m, Regions: []promote.Region{region}})
+	wantDiag(t, ds, "promoted", "survives inside its region")
+}
+
+func TestSpillCodeInsideRegionBody(t *testing.T) {
+	var region promote.Region
+	m := mkMain(func(m *ir.Module, fn *ir.Func, entry *ir.Block) {
+		g := m.Tags.NewTag("g", ir.TagGlobal, "", 8, 8)
+		r := fn.NewReg()
+		// Synth spill code is legal only at region boundaries, never
+		// inside the body.
+		entry.Instrs = append(entry.Instrs,
+			ir.Instr{Op: ir.OpSLoad, Dst: r, Tag: g.ID, Size: 8, Synth: true})
+		region = promote.Region{Func: "main", Tag: g.ID, Body: []*ir.Block{entry}}
+	})
+	ds := runPass(t, "promoted", &check.Context{Module: m, Regions: []promote.Region{region}})
+	wantDiag(t, ds, "promoted", "spill code")
+}
+
+func TestCallTouchingPromotedTag(t *testing.T) {
+	var region promote.Region
+	m := mkMain(func(m *ir.Module, fn *ir.Func, entry *ir.Block) {
+		g := m.Tags.NewTag("g", ir.TagGlobal, "", 8, 8)
+		f := &ir.Func{Name: "f"}
+		fb := f.NewBlock("")
+		f.Entry = fb
+		fb.Instrs = []ir.Instr{{Op: ir.OpRet, A: ir.RegInvalid}}
+		m.AddFunc(f)
+		entry.Instrs = append(entry.Instrs,
+			ir.Instr{Op: ir.OpJsr, Callee: "f", Dst: ir.RegInvalid, Mods: ir.NewTagSet(g.ID)})
+		region = promote.Region{Func: "main", Tag: g.ID, Body: []*ir.Block{entry}}
+	})
+	ds := runPass(t, "promoted", &check.Context{Module: m, Regions: []promote.Region{region}})
+	wantDiag(t, ds, "promoted", "call may touch promoted")
+}
+
+// TestRegistryNamesAreStable pins the registry order tools and docs
+// rely on.
+func TestRegistryNamesAreStable(t *testing.T) {
+	want := []string{"verify", "cfg", "uninit", "arity", "tags", "promoted"}
+	ps := check.Passes()
+	if len(ps) != len(want) {
+		t.Fatalf("registry has %d passes, want %d", len(ps), len(want))
+	}
+	for i, p := range ps {
+		if p.Name != want[i] {
+			t.Errorf("pass %d = %q, want %q", i, p.Name, want[i])
+		}
+		if p.Doc == "" {
+			t.Errorf("pass %q has no doc line", p.Name)
+		}
+	}
+}

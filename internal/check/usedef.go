@@ -1,0 +1,111 @@
+package check
+
+import (
+	"fmt"
+
+	"regpromo/internal/dataflow"
+	"regpromo/internal/ir"
+)
+
+// runUninit flags every use of a virtual register that no definition
+// may reach: a forward may-reach dataflow (union at joins) over the
+// defined-register sets, seeded with the function's parameters at the
+// entry. Because the join is a union, path-sensitive initialization
+// (defined on one arm, used after the join) passes — only a use with
+// no defining path at all is reported, which in the source language
+// is a genuine read of garbage.
+func runUninit(c *Context) []Diag {
+	var ds []Diag
+	for _, fn := range c.Module.FuncsInOrder() {
+		ds = append(ds, uninitFunc(fn)...)
+	}
+	return ds
+}
+
+// regBits is a fixed-width bitset over a function's virtual registers.
+type regBits []uint64
+
+func (s regBits) set(r ir.Reg)      { s[r>>6] |= 1 << (uint(r) & 63) }
+func (s regBits) has(r ir.Reg) bool { return s[r>>6]&(1<<(uint(r)&63)) != 0 }
+
+func (s regBits) equal(o regBits) bool {
+	for i, w := range s {
+		if o[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func uninitFunc(fn *ir.Func) []Diag {
+	if fn.Entry == nil || !denseIDs(fn) {
+		return nil // verify / cfg report these
+	}
+	words := (fn.NumRegs + 63) / 64
+	if words == 0 {
+		return nil
+	}
+	inRange := func(r ir.Reg) bool { return r >= 0 && int(r) < fn.NumRegs }
+
+	// reachedIn(b) = params (entry) ∪ ⋃ preds' out; out(b) adds b's
+	// own defs. Unreachable predecessors keep a nil out and
+	// contribute nothing.
+	out := make([]regBits, len(fn.Blocks))
+	cur := make(regBits, words)
+	flowIn := func(b *ir.Block, dst regBits) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		if b == fn.Entry {
+			for _, p := range fn.Params {
+				if inRange(p) {
+					dst.set(p)
+				}
+			}
+		}
+		for _, p := range b.Preds {
+			if o := out[p.ID]; o != nil {
+				for i, w := range o {
+					dst[i] |= w
+				}
+			}
+		}
+	}
+	dataflow.SolveBlocks(fn, dataflow.Forward, func(b *ir.Block) bool {
+		flowIn(b, cur)
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.RegInvalid && inRange(d) {
+				cur.set(d)
+			}
+		}
+		if o := out[b.ID]; o != nil && o.equal(cur) {
+			return false
+		}
+		if out[b.ID] == nil {
+			out[b.ID] = make(regBits, words)
+		}
+		copy(out[b.ID], cur)
+		return true
+	})
+
+	// Report pass: one deterministic walk, checking each use against
+	// the defs that reach it within the block.
+	var ds []Diag
+	var buf [8]ir.Reg
+	for _, b := range dataflow.ReversePostorder(fn) {
+		flowIn(b, cur)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, r := range in.Uses(buf[:0]) {
+				if inRange(r) && !cur.has(r) {
+					ds = append(ds, Diag{Check: "uninit", Func: fn.Name, Block: b.Label, Index: i, Op: in.Op,
+						Msg: fmt.Sprintf("use of r%d that no definition reaches", r)})
+				}
+			}
+			if d := in.Def(); d != ir.RegInvalid && inRange(d) {
+				cur.set(d)
+			}
+		}
+	}
+	return ds
+}

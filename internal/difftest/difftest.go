@@ -29,6 +29,7 @@ import (
 	"regpromo/internal/bench"
 	"regpromo/internal/driver"
 	"regpromo/internal/interp"
+	"regpromo/internal/ir"
 	"regpromo/internal/obs"
 	"regpromo/internal/testgen"
 )
@@ -93,20 +94,40 @@ func (r *Result) Divergence() string {
 // reference.
 func (r *Result) Diverged() bool { return r.Divergence() != "" }
 
+// Mode selects the optional oracles of a differential comparison
+// beyond the cross-configuration diff itself.
+type Mode struct {
+	// BothEngines executes each compilation on the reference switch
+	// engine too and reports any flat-vs-switch disagreement.
+	BothEngines bool
+	// Sanitize runs every execution under the analysis-soundness
+	// sanitizer; any violation is reported as a divergence on that
+	// configuration (the third oracle, beside engine parity and
+	// config divergence).
+	Sanitize bool
+}
+
 // DiffSource compiles and executes src under every configuration of
 // the matrix, on the default (flat) engine.
 func DiffSource(filename, src string, matrix []driver.NamedConfig) *Result {
-	return DiffSourceEngines(filename, src, matrix, false)
+	return DiffSourceMode(filename, src, matrix, Mode{})
 }
 
 // DiffSourceEngines is DiffSource with the engine dimension exposed.
-// The front end runs once; every configuration's pipeline is forked
-// from the shared artifact (compile-once sharing). With bothEngines
-// set, each compilation additionally executes on the reference switch
-// engine, and any flat-vs-switch disagreement — output, exit code,
-// dynamic counts, or error text — is reported as a divergence on that
-// configuration.
 func DiffSourceEngines(filename, src string, matrix []driver.NamedConfig, bothEngines bool) *Result {
+	return DiffSourceMode(filename, src, matrix, Mode{BothEngines: bothEngines})
+}
+
+// DiffSourceMode is DiffSource with every oracle dimension exposed.
+// The front end runs once; every configuration's pipeline is forked
+// from the shared artifact (compile-once sharing). With
+// Mode.BothEngines set, each compilation additionally executes on the
+// reference switch engine, and any flat-vs-switch disagreement —
+// output, exit code, dynamic counts, error text, or sanitizer
+// violations — is reported as a divergence on that configuration.
+// With Mode.Sanitize set, every execution runs under the
+// analysis-soundness sanitizer and its violations are divergences.
+func DiffSourceMode(filename, src string, matrix []driver.NamedConfig, mode Mode) *Result {
 	r := &Result{Source: src}
 	fe, feErr := driver.ParseSource(filename, src)
 	for _, nc := range matrix {
@@ -116,32 +137,39 @@ func DiffSourceEngines(filename, src string, matrix []driver.NamedConfig, bothEn
 			r.Execs = append(r.Execs, Execution{Config: nc, Err: fmt.Errorf("compile: %w", feErr)})
 			continue
 		}
-		r.Execs = append(r.Execs, runOne(fe, nc, bothEngines))
+		r.Execs = append(r.Execs, runOne(fe, nc, mode))
 	}
 	return r
 }
 
 // DiffSeed generates the seed's program and diffs it.
 func DiffSeed(seed int64, matrix []driver.NamedConfig) *Result {
-	return DiffSeedEngines(seed, matrix, false)
+	return DiffSeedMode(seed, matrix, Mode{})
 }
 
 // DiffSeedEngines generates the seed's program and diffs it, with the
 // both-engines cross-check when requested.
 func DiffSeedEngines(seed int64, matrix []driver.NamedConfig, bothEngines bool) *Result {
-	r := DiffSourceEngines(fmt.Sprintf("seed%d.c", seed), testgen.Program(seed), matrix, bothEngines)
+	return DiffSeedMode(seed, matrix, Mode{BothEngines: bothEngines})
+}
+
+// DiffSeedMode generates the seed's program and diffs it under the
+// given oracle mode.
+func DiffSeedMode(seed int64, matrix []driver.NamedConfig, mode Mode) *Result {
+	r := DiffSourceMode(fmt.Sprintf("seed%d.c", seed), testgen.Program(seed), matrix, mode)
 	r.Seed = seed
 	return r
 }
 
-func runOne(fe *driver.Frontend, nc driver.NamedConfig, bothEngines bool) Execution {
+func runOne(fe *driver.Frontend, nc driver.NamedConfig, mode Mode) Execution {
 	e := Execution{Config: nc}
 	c, err := fe.Compile(nc.Config, nil)
 	if err != nil {
 		e.Err = fmt.Errorf("compile: %w", err)
 		return e
 	}
-	res, rerr := c.Execute(interp.Options{MaxSteps: MaxSteps, Engine: interp.EngineFlat})
+	opts := interp.Options{MaxSteps: MaxSteps, Engine: interp.EngineFlat, Sanitize: mode.Sanitize}
+	res, rerr := c.Execute(opts)
 	if rerr != nil {
 		e.Err = fmt.Errorf("execute: %w", rerr)
 	} else {
@@ -149,25 +177,60 @@ func runOne(fe *driver.Frontend, nc driver.NamedConfig, bothEngines bool) Execut
 		e.Exit = res.Exit
 		e.Counts = res.Counts
 	}
-	if !bothEngines {
-		return e
-	}
-	sres, serr := c.Execute(interp.Options{MaxSteps: MaxSteps, Engine: interp.EngineSwitch})
-	switch {
-	case rerr != nil && serr != nil:
-		// Both engines failed: the error text must match exactly, or
-		// the engines disagree about how the program goes wrong.
-		if rerr.Error() != serr.Error() {
-			e.Err = fmt.Errorf("engine divergence: flat error %q, switch error %q", rerr, serr)
+	if mode.BothEngines {
+		opts.Engine = interp.EngineSwitch
+		sres, serr := c.Execute(opts)
+		switch {
+		case rerr != nil && serr != nil:
+			// Both engines failed: the error text must match exactly, or
+			// the engines disagree about how the program goes wrong.
+			if rerr.Error() != serr.Error() {
+				e.Err = fmt.Errorf("engine divergence: flat error %q, switch error %q", rerr, serr)
+			}
+		case rerr != nil || serr != nil:
+			e.Err = fmt.Errorf("engine divergence: flat err=%v, switch err=%v", rerr, serr)
+		case res.Output != sres.Output || res.Exit != sres.Exit || res.Counts != sres.Counts:
+			e.Err = fmt.Errorf(
+				"engine divergence: flat exit=%d counts=%+v output=%q; switch exit=%d counts=%+v output=%q",
+				res.Exit, res.Counts, res.Output, sres.Exit, sres.Counts, sres.Output)
+		case !sameDiags(res.Violations, sres.Violations):
+			// Both engines observe execution in the same order, so
+			// their violation lists must match exactly.
+			e.Err = fmt.Errorf("engine divergence: flat violations %q, switch violations %q",
+				diagStrings(res.Violations), diagStrings(sres.Violations))
 		}
-	case rerr != nil || serr != nil:
-		e.Err = fmt.Errorf("engine divergence: flat err=%v, switch err=%v", rerr, serr)
-	case res.Output != sres.Output || res.Exit != sres.Exit || res.Counts != sres.Counts:
-		e.Err = fmt.Errorf(
-			"engine divergence: flat exit=%d counts=%+v output=%q; switch exit=%d counts=%+v output=%q",
-			res.Exit, res.Counts, res.Output, sres.Exit, sres.Counts, sres.Output)
+	}
+	if e.Err == nil && rerr == nil && len(res.Violations) > 0 {
+		e.Err = fmt.Errorf("sanitizer: %d violation(s): %s",
+			len(res.Violations), strings.Join(diagStrings(res.Violations), "; "))
 	}
 	return e
+}
+
+// diagStrings renders a violation list in its stable string form,
+// truncated for reporting.
+func diagStrings(ds []ir.Diag) []string {
+	out := make([]string, 0, len(ds))
+	for i, d := range ds {
+		if i == 5 {
+			out = append(out, fmt.Sprintf("… %d more", len(ds)-i))
+			break
+		}
+		out = append(out, d.String())
+	}
+	return out
+}
+
+func sameDiags(a, b []ir.Diag) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Failure is one divergent seed with its reduction and artifact
@@ -199,6 +262,11 @@ type FuzzOptions struct {
 	// engines (flat and the switch reference) and reports any
 	// disagreement — counts included — as a divergence.
 	BothEngines bool
+	// Sanitize runs every execution under the analysis-soundness
+	// sanitizer, the third oracle: any observed memory access outside
+	// the static MOD/REF or points-to sets is a divergence, archived
+	// to the corpus like any other.
+	Sanitize bool
 	// Reduce shrinks each failing program before reporting it.
 	Reduce bool
 	// CorpusDir, when non-empty, receives a failure artifact per
@@ -227,7 +295,7 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 	report := &FuzzReport{Seeds: opts.Seeds, Matrix: matrix}
 	fails, err := bench.ParallelMap(int(opts.Seeds), opts.Parallel, func(i int) (*Failure, error) {
 		seed := opts.Start + int64(i)
-		r := DiffSeedEngines(seed, matrix, opts.BothEngines)
+		r := DiffSeedMode(seed, matrix, Mode{BothEngines: opts.BothEngines, Sanitize: opts.Sanitize})
 		div := r.Divergence()
 		if opts.Progress != nil {
 			opts.Progress(seed, div != "")
@@ -238,7 +306,8 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 		f := &Failure{Seed: seed, Divergence: div, Reduced: r.Source, Units: testgen.Units(seed)}
 		if opts.Reduce {
 			f.Reduced, f.Units = Reduce(seed, func(src string) bool {
-				return DiffSourceEngines(fmt.Sprintf("seed%d.c", seed), src, matrix, opts.BothEngines).Diverged()
+				m := Mode{BothEngines: opts.BothEngines, Sanitize: opts.Sanitize}
+				return DiffSourceMode(fmt.Sprintf("seed%d.c", seed), src, matrix, m).Diverged()
 			})
 		}
 		if opts.CorpusDir != "" {

@@ -124,3 +124,19 @@ func TestBothEnginesFuzzMode(t *testing.T) {
 		t.Fatalf("both-engines fuzz found divergences:\n%s", report.Failures[0].Divergence)
 	}
 }
+
+// TestSanitizeFuzzMode exercises FuzzOptions.Sanitize end to end: a
+// clean seed range must stay clean with the analysis-soundness
+// sanitizer armed as the third oracle. (The oracle's ability to catch
+// a real defect is proven by the seeded-corruption tests in
+// internal/interp; here we pin the absence of false positives on
+// honest compilations.)
+func TestSanitizeFuzzMode(t *testing.T) {
+	report, err := Fuzz(FuzzOptions{Start: 500, Seeds: 10, Short: true, Sanitize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Failures) != 0 {
+		t.Fatalf("sanitize fuzz found divergences:\n%s", report.Failures[0].Divergence)
+	}
+}

@@ -1,0 +1,48 @@
+package driver_test
+
+import (
+	"testing"
+
+	"regpromo/internal/driver"
+)
+
+func TestParseCheckLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want driver.CheckLevel
+		err  bool
+	}{
+		{"off", driver.CheckOff, false},
+		{"", driver.CheckOff, false},
+		{"module", driver.CheckModule, false},
+		{"pass", driver.CheckEveryPass, false},
+		{"after-every-pass", driver.CheckEveryPass, false},
+		{"bogus", driver.CheckOff, true},
+	}
+	for _, c := range cases {
+		got, err := driver.ParseCheckLevel(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseCheckLevel(%q) = %v, %v; want %v, err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+	for _, l := range []driver.CheckLevel{driver.CheckOff, driver.CheckModule, driver.CheckEveryPass} {
+		back, err := driver.ParseCheckLevel(l.String())
+		if err != nil || back != l {
+			t.Errorf("CheckLevel %v does not round-trip through String: %v, %v", l, back, err)
+		}
+	}
+}
+
+// TestCheckModuleLevelClean: a module-level check on a normal
+// compilation must pass and must not change the compiled output.
+func TestCheckModuleLevelClean(t *testing.T) {
+	const src = `
+int g;
+int f(int x) { g = g + x; return g; }
+int main(void) { return f(3) + f(4); }
+`
+	cfg := driver.Config{Analysis: driver.PointsTo, Promote: true, Check: driver.CheckModule}
+	if _, err := driver.CompileSource("check_clean.c", src, cfg); err != nil {
+		t.Fatalf("clean compilation failed the module check: %v", err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"regpromo/internal/analysis/modref"
 	"regpromo/internal/analysis/pointsto"
 	"regpromo/internal/callgraph"
+	"regpromo/internal/check"
 	"regpromo/internal/interp"
 	"regpromo/internal/ir"
 	"regpromo/internal/obs"
@@ -54,6 +55,61 @@ func (a Analysis) String() string {
 		return "pointer"
 	}
 	return "modref"
+}
+
+// CheckLevel selects how much of the internal/check lint registry
+// Compile runs over its own output.
+type CheckLevel int
+
+const (
+	// CheckOff runs no lint passes (the PassVerify structural check
+	// still always runs).
+	CheckOff CheckLevel = iota
+	// CheckModule runs the full lint registry once, after the
+	// pipeline finishes.
+	CheckModule
+	// CheckEveryPass runs the registry after the front end and again
+	// after every pass, pinpointing the first pass that breaks an
+	// invariant. Forces the serial pass walk: the pipelined middle
+	// end never materializes whole-module pass boundaries.
+	CheckEveryPass
+)
+
+func (l CheckLevel) String() string {
+	switch l {
+	case CheckModule:
+		return "module"
+	case CheckEveryPass:
+		return "pass"
+	}
+	return "off"
+}
+
+// ParseCheckLevel maps the CLI spellings onto a CheckLevel.
+func ParseCheckLevel(s string) (CheckLevel, error) {
+	switch s {
+	case "off", "":
+		return CheckOff, nil
+	case "module":
+		return CheckModule, nil
+	case "pass", "after-every-pass":
+		return CheckEveryPass, nil
+	}
+	return CheckOff, fmt.Errorf("unknown check level %q (want off, module, or pass)", s)
+}
+
+// CheckError reports lint violations found at a CheckLevel boundary,
+// naming the stage after which the module first failed.
+type CheckError struct {
+	// Pass is the stage whose output is broken: a pass name,
+	// PassFrontend, or "module" for the post-pipeline check.
+	Pass string
+	// Diags are all violations, in lint-registry order.
+	Diags []ir.Diag
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("check failed after %s: %s", e.Pass, ir.DiagError(e.Diags))
 }
 
 // Config selects one compilation configuration.
@@ -93,6 +149,11 @@ type Config struct {
 	// compiles serially, larger values set the pool size directly.
 	// The produced IL is identical at any setting.
 	Workers int
+
+	// Check selects how much of the internal/check lint registry to
+	// run over the pipeline's own output; violations surface as a
+	// *CheckError from Compile.
+	Check CheckLevel
 }
 
 // Compilation is a compiled program plus pass statistics.
@@ -365,7 +426,15 @@ func Compile(filename, src string, cfg Config, pipe *obs.Pipeline) (*Compilation
 func compilePasses(c *Compilation, cfg Config, pipe *obs.Pipeline) (*Compilation, error) {
 	s := &pipeState{cfg: cfg, c: c}
 	ps := cfg.passes()
-	serial := cfg.Workers == 1 || (pipe != nil && pipe.DumpPass != "")
+	serial := cfg.Workers == 1 || cfg.Check == CheckEveryPass ||
+		(pipe != nil && pipe.DumpPass != "")
+	analysisDone := false
+	if cfg.Check == CheckEveryPass {
+		// Lint the front end's output before any pass touches it.
+		if err := s.runChecks(PassFrontend, false); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < len(ps); {
 		if !serial && ps[i].fn != nil {
 			j := i
@@ -384,9 +453,37 @@ func compilePasses(c *Compilation, cfg Config, pipe *obs.Pipeline) (*Compilation
 		}); err != nil {
 			return nil, err
 		}
+		if ps[i].name == PassModRef {
+			analysisDone = true
+		}
+		if cfg.Check == CheckEveryPass {
+			if err := s.runChecks(ps[i].name, analysisDone); err != nil {
+				return nil, err
+			}
+		}
 		i++
 	}
+	if cfg.Check == CheckModule {
+		if err := s.runChecks("module", true); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// runChecks runs the internal/check lint registry over the module's
+// current state, reporting violations as a *CheckError that names the
+// stage whose output is broken.
+func (s *pipeState) runChecks(stage string, analysisDone bool) error {
+	ctx := &check.Context{
+		Module:       s.c.Module,
+		AnalysisDone: analysisDone,
+		Regions:      s.c.Promote.Regions,
+	}
+	if ds := check.Module(ctx); len(ds) > 0 {
+		return &CheckError{Pass: stage, Diags: ds}
+	}
+	return nil
 }
 
 // funcStage is one (function, pass) telemetry record from a parallel

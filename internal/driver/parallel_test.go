@@ -47,7 +47,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 				if sIL != pIL {
 					t.Fatalf("IL differs between serial and parallel compiles:\n--- serial ---\n%s\n--- parallel ---\n%s", sIL, pIL)
 				}
-				if sc.Promote != pc.Promote {
+				if sc.Promote.Counters() != pc.Promote.Counters() {
 					t.Errorf("promote stats differ: serial %+v, parallel %+v", sc.Promote, pc.Promote)
 				}
 				if sc.Alloc != pc.Alloc {

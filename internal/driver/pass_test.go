@@ -118,7 +118,7 @@ func TestObservedCompileMatchesUnobserved(t *testing.T) {
 		if obs.Measure(plain.Module) != obs.Measure(observed.Module) {
 			t.Fatalf("%+v: observer changed compilation", cfg)
 		}
-		if plain.Promote != observed.Promote || plain.Alloc != observed.Alloc {
+		if plain.Promote.Counters() != observed.Promote.Counters() || plain.Alloc != observed.Alloc {
 			t.Fatalf("%+v: observer changed statistics", cfg)
 		}
 	}

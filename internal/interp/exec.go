@@ -159,6 +159,9 @@ func (m *machine) execBlock(f *frame, b *ir.Block) (next *ir.Block, ret int64, d
 			if m.prof != nil {
 				m.prof.load(in.Tag)
 			}
+			if m.san != nil {
+				m.san.scalarRef(in)
+			}
 			addr, err := m.tagAddr(f, in.Tag)
 			if err != nil {
 				return nil, 0, false, err
@@ -172,6 +175,9 @@ func (m *machine) execBlock(f *frame, b *ir.Block) (next *ir.Block, ret int64, d
 			m.counts.Stores++
 			if m.prof != nil {
 				m.prof.store(in.Tag)
+			}
+			if m.san != nil {
+				m.san.scalarMod(in)
 			}
 			addr, err := m.tagAddr(f, in.Tag)
 			if err != nil {
@@ -189,6 +195,9 @@ func (m *machine) execBlock(f *frame, b *ir.Block) (next *ir.Block, ret int64, d
 			if m.prof != nil {
 				m.prof.load(m.ownerOf(addr))
 			}
+			if m.san != nil {
+				m.san.ptrAccess(f.fn.Name, in, m.ownerOf(addr), false)
+			}
 			v, err := m.loadMem(f, addr, in.Size)
 			if err != nil {
 				return nil, 0, false, err
@@ -202,6 +211,9 @@ func (m *machine) execBlock(f *frame, b *ir.Block) (next *ir.Block, ret int64, d
 			}
 			if m.prof != nil {
 				m.prof.store(m.ownerOf(addr))
+			}
+			if m.san != nil {
+				m.san.ptrAccess(f.fn.Name, in, m.ownerOf(addr), true)
 			}
 			if err := m.storeMem(f, addr, in.Size, regs[in.B]); err != nil {
 				return nil, 0, false, err
@@ -276,7 +288,18 @@ func (m *machine) execCall(f *frame, in *ir.Instr) (int64, error) {
 		args[i] = f.regs[a]
 	}
 	if callee, ok := m.mod.Funcs[name]; ok {
-		return m.call(callee, args)
+		if m.san == nil {
+			return m.call(callee, args)
+		}
+		// Sanitize: bracket the call with an observation record and
+		// diff it against the site's static MOD/REF summary on
+		// return. Errors abandon the record — the run has no result.
+		m.san.pushCall(f.fn.Name, in)
+		v, err := m.call(callee, args)
+		if err == nil {
+			m.san.popCall()
+		}
+		return v, err
 	}
 	return m.intrinsic(f, name, in, args)
 }

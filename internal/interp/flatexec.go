@@ -111,6 +111,7 @@ func (m *machine) runFlat(p *Program, fi int, regs []int64) (ret int64, err erro
 	budget := m.max - m.steps
 	prof := m.prof
 	trace := m.opts.Trace
+	san := m.san
 	globals := m.globals
 	// stk tracks m.stack; it is refreshed after every call, the only
 	// point where ensureStack can move the backing array.
@@ -229,6 +230,9 @@ func (m *machine) runFlat(p *Program, fi int, regs []int64) (ret int64, err erro
 			if prof != nil {
 				prof.load(in.tag)
 			}
+			if san != nil {
+				san.scalarRef(in.src)
+			}
 			v, ok := loadFast(globals, in.imm-globalBase, in.sz)
 			if !ok {
 				var lerr error
@@ -241,6 +245,9 @@ func (m *machine) runFlat(p *Program, fi int, regs []int64) (ret int64, err erro
 			m.counts.Loads++
 			if prof != nil {
 				prof.load(in.tag)
+			}
+			if san != nil {
+				san.scalarRef(in.src)
 			}
 			v, ok := loadFast(stk, f.base+in.imm-stackBase, in.sz)
 			if !ok {
@@ -255,6 +262,9 @@ func (m *machine) runFlat(p *Program, fi int, regs []int64) (ret int64, err erro
 			if prof != nil {
 				prof.store(in.tag)
 			}
+			if san != nil {
+				san.scalarMod(in.src)
+			}
 			if !storeFast(globals, in.imm-globalBase, in.sz, regs[in.a]) {
 				if serr := m.storeMem(f, in.imm, int(in.sz), regs[in.a]); serr != nil {
 					return 0, serr
@@ -264,6 +274,9 @@ func (m *machine) runFlat(p *Program, fi int, regs []int64) (ret int64, err erro
 			m.counts.Stores++
 			if prof != nil {
 				prof.store(in.tag)
+			}
+			if san != nil {
+				san.scalarMod(in.src)
 			}
 			if !storeFast(stk, f.base+in.imm-stackBase, in.sz, regs[in.a]) {
 				if serr := m.storeMem(f, f.base+in.imm, int(in.sz), regs[in.a]); serr != nil {
@@ -281,6 +294,9 @@ func (m *machine) runFlat(p *Program, fi int, regs []int64) (ret int64, err erro
 			}
 			if prof != nil {
 				prof.load(m.ownerOf(addr))
+			}
+			if san != nil {
+				san.ptrAccess(fn.Name, in.src, m.ownerOf(addr), false)
 			}
 			var v int64
 			var ok bool
@@ -311,6 +327,9 @@ func (m *machine) runFlat(p *Program, fi int, regs []int64) (ret int64, err erro
 			}
 			if prof != nil {
 				prof.store(m.ownerOf(addr))
+			}
+			if san != nil {
+				san.ptrAccess(fn.Name, in.src, m.ownerOf(addr), true)
 			}
 			var ok bool
 			switch {
@@ -516,6 +535,9 @@ func (m *machine) runFlat(p *Program, fi int, regs []int64) (ret int64, err erro
 			if prof != nil {
 				prof.load(m.ownerOf(addr))
 			}
+			if san != nil {
+				san.ptrAccess(fn.Name, in.src, m.ownerOf(addr), false)
+			}
 			var v int64
 			var ok bool
 			switch {
@@ -546,6 +568,9 @@ func (m *machine) runFlat(p *Program, fi int, regs []int64) (ret int64, err erro
 			}
 			if prof != nil {
 				prof.store(m.ownerOf(addr))
+			}
+			if san != nil {
+				san.ptrAccess(fn.Name, in.src, m.ownerOf(addr), true)
 			}
 			val := regs[in.dst]
 			var ok bool
@@ -605,9 +630,15 @@ func (m *machine) runFlat(p *Program, fi int, regs []int64) (ret int64, err erro
 			m.counts.Ops += steps
 			m.steps += steps
 			steps = 0
+			if san != nil {
+				san.pushCall(fn.Name, src)
+			}
 			v, cerr := m.runFlat(p, int(target), cregs)
 			if cerr != nil {
 				return 0, cerr
+			}
+			if san != nil {
+				san.popCall()
 			}
 			budget = m.max - m.steps
 			stk = m.stack

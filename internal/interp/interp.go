@@ -96,6 +96,11 @@ type Options struct {
 	// Engine selects the execution engine; the zero value is the
 	// flat-code engine.
 	Engine Engine
+	// Sanitize enables the analysis-soundness sanitizer: every memory
+	// access is diffed against the static MOD/REF and points-to sets
+	// and violations are reported in Result.Violations. Guarded like
+	// profiling — zero cost when off.
+	Sanitize bool
 }
 
 // Result is the outcome of an execution.
@@ -108,6 +113,9 @@ type Result struct {
 	// Profile is the execution profile when Options.Profile was set,
 	// nil otherwise.
 	Profile *Profile
+	// Violations are the analysis-soundness diagnostics collected
+	// when Options.Sanitize was set; empty on a clean run.
+	Violations []ir.Diag
 }
 
 // Error is a runtime fault with function context.
@@ -162,6 +170,9 @@ type machine struct {
 	// prof records hot-spot data when profiling is enabled; nil
 	// otherwise.
 	prof *profiler
+	// san records analysis-soundness observations when sanitizing;
+	// nil otherwise.
+	san *sanitizer
 
 	frames []*frame
 }
@@ -295,6 +306,9 @@ func newMachineImage(mod *ir.Module, opts Options, img *execImage) *machine {
 	if opts.Profile {
 		m.prof = newProfiler(mod)
 	}
+	if opts.Sanitize {
+		m.san = newSanitizer(mod)
+	}
 	return m
 }
 
@@ -325,6 +339,9 @@ func (m *machine) result(exit int64) *Result {
 	res := &Result{Counts: m.counts, Exit: exit, Output: m.out.String()}
 	if m.prof != nil {
 		res.Profile = m.prof.result(m.mod)
+	}
+	if m.san != nil {
+		res.Violations = m.san.finish()
 	}
 	return res
 }

@@ -1,0 +1,76 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diag is one diagnostic produced by the IL verifier, a lint pass in
+// internal/check, or the interpreter's soundness sanitizer. All three
+// layers share this type so rpcc, rpexec, and rpfuzz print identical
+// lines for the same defect and golden tests don't drift between
+// tools.
+type Diag struct {
+	// Check names the pass that produced the diagnostic, e.g.
+	// "verify", "uninit", or "sanitize.mod".
+	Check string
+	// Func is the enclosing function.
+	Func string
+	// Block is the label of the enclosing block; empty for
+	// function-level diagnostics.
+	Block string
+	// Index is the instruction's position within Block, or -1 when
+	// the diagnostic is not anchored to one instruction.
+	Index int
+	// Op is the opcode of the offending instruction (OpNop when the
+	// diagnostic has no instruction).
+	Op Op
+	// Msg describes the violation.
+	Msg string
+}
+
+// String renders the canonical single-line form
+//
+//	[check] func/block#index: op: msg
+//
+// omitting the parts that are absent. This is the stable format every
+// tool prints and every golden test matches.
+func (d Diag) String() string {
+	var sb strings.Builder
+	if d.Check != "" {
+		sb.WriteByte('[')
+		sb.WriteString(d.Check)
+		sb.WriteString("] ")
+	}
+	if d.Func != "" || d.Block != "" {
+		sb.WriteString(d.Func)
+		if d.Block != "" {
+			sb.WriteByte('/')
+			sb.WriteString(d.Block)
+			if d.Index >= 0 {
+				fmt.Fprintf(&sb, "#%d", d.Index)
+			}
+		}
+		sb.WriteString(": ")
+	}
+	if d.Op != OpNop {
+		sb.WriteString(d.Op.String())
+		sb.WriteString(": ")
+	}
+	sb.WriteString(d.Msg)
+	return sb.String()
+}
+
+// DiagError folds a diagnostic list into a single error: nil when the
+// list is empty, otherwise the first diagnostic plus a count of the
+// rest. Callers that want every violation use the slice directly.
+func DiagError(ds []Diag) error {
+	switch len(ds) {
+	case 0:
+		return nil
+	case 1:
+		return fmt.Errorf("%s", ds[0])
+	default:
+		return fmt.Errorf("%s (and %d more)", ds[0], len(ds)-1)
+	}
+}

@@ -56,6 +56,14 @@ type Instr struct {
 	// of possible callees computed by points-to analysis; nil means
 	// "any addressed function".
 	Targets []string
+
+	// Synth marks compiler-synthesized spill code: the lifted loads
+	// and demotion stores promotion inserts at region boundaries.
+	// These deliberately sit outside the effect sets the analyses
+	// computed (a demotion store legally writes a tag the region only
+	// read), so the soundness sanitizer and the promotion-invariant
+	// lint skip them.
+	Synth bool
 }
 
 // Uses appends the registers the instruction reads to buf and returns

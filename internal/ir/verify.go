@@ -2,69 +2,83 @@ package ir
 
 import "fmt"
 
-// VerifyFunc checks structural well-formedness of a function:
+// VerifyFuncAll checks structural well-formedness of a function —
 // every block ends in exactly one terminator, successor counts match
 // the terminator, edges are symmetric, register numbers are in range,
-// and memory operations carry sensible sizes and tags. It returns the
-// first violation found.
-func VerifyFunc(f *Func, tt *TagTable) error {
+// and memory operations carry sensible sizes and tags — and returns
+// every violation found, each anchored to its function, block, and
+// instruction. Deeper semantic invariants (reachability, use-before-
+// def, tag discipline, promotion regions) live in internal/check.
+func VerifyFuncAll(f *Func, tt *TagTable) []Diag {
+	var ds []Diag
+	funcDiag := func(msg string, args ...any) {
+		ds = append(ds, Diag{Check: "verify", Func: f.Name, Index: -1, Msg: fmt.Sprintf(msg, args...)})
+	}
 	if f.Entry == nil {
-		return fmt.Errorf("%s: no entry block", f.Name)
+		funcDiag("no entry block")
+		return ds
 	}
 	inFunc := make(map[*Block]bool, len(f.Blocks))
 	for _, b := range f.Blocks {
 		inFunc[b] = true
 	}
 	if !inFunc[f.Entry] {
-		return fmt.Errorf("%s: entry block not in Blocks", f.Name)
+		funcDiag("entry block not in Blocks")
 	}
 	for _, b := range f.Blocks {
+		blockDiag := func(msg string, args ...any) {
+			ds = append(ds, Diag{Check: "verify", Func: f.Name, Block: b.Label, Index: -1, Msg: fmt.Sprintf(msg, args...)})
+		}
 		if len(b.Instrs) == 0 {
-			return fmt.Errorf("%s/%s: empty block", f.Name, b.Label)
+			blockDiag("empty block")
+			continue
 		}
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
-				return fmt.Errorf("%s/%s: terminator %s not last", f.Name, b.Label, in.Op)
+				ds = append(ds, Diag{Check: "verify", Func: f.Name, Block: b.Label, Index: i, Op: in.Op, Msg: "terminator not last"})
 			}
-			if err := verifyInstr(f, b, in, tt); err != nil {
-				return err
-			}
+			ds = verifyInstr(ds, f, b, i, in, tt)
 		}
 		term := b.Terminator()
 		if term == nil {
-			return fmt.Errorf("%s/%s: missing terminator", f.Name, b.Label)
-		}
-		want := 0
-		switch term.Op {
-		case OpBr:
-			want = 1
-		case OpCBr:
-			want = 2
-		case OpRet:
-			want = 0
-		}
-		if len(b.Succs) != want {
-			return fmt.Errorf("%s/%s: %s with %d successors", f.Name, b.Label, term.Op, len(b.Succs))
+			blockDiag("missing terminator")
+		} else {
+			want := 0
+			switch term.Op {
+			case OpBr:
+				want = 1
+			case OpCBr:
+				want = 2
+			case OpRet:
+				want = 0
+			}
+			if len(b.Succs) != want {
+				blockDiag("%s with %d successors", term.Op, len(b.Succs))
+			}
 		}
 		for _, s := range b.Succs {
 			if !inFunc[s] {
-				return fmt.Errorf("%s/%s: successor %s not in function", f.Name, b.Label, s.Label)
-			}
-			if !hasPred(s, b) {
-				return fmt.Errorf("%s/%s: successor %s missing back-pointer", f.Name, b.Label, s.Label)
+				blockDiag("successor %s not in function", s.Label)
+			} else if !hasPred(s, b) {
+				blockDiag("successor %s missing back-pointer", s.Label)
 			}
 		}
 		for _, p := range b.Preds {
 			if !inFunc[p] {
-				return fmt.Errorf("%s/%s: predecessor %s not in function", f.Name, b.Label, p.Label)
-			}
-			if !p.HasSucc(b) {
-				return fmt.Errorf("%s/%s: predecessor %s missing forward edge", f.Name, b.Label, p.Label)
+				blockDiag("predecessor %s not in function", p.Label)
+			} else if !p.HasSucc(b) {
+				blockDiag("predecessor %s missing forward edge", p.Label)
 			}
 		}
 	}
-	return nil
+	return ds
+}
+
+// VerifyFunc runs VerifyFuncAll and summarizes the result as a single
+// error (nil when the function is well-formed).
+func VerifyFunc(f *Func, tt *TagTable) error {
+	return DiagError(VerifyFuncAll(f, tt))
 }
 
 func hasPred(b, p *Block) bool {
@@ -76,53 +90,54 @@ func hasPred(b, p *Block) bool {
 	return false
 }
 
-func verifyInstr(f *Func, b *Block, in *Instr, tt *TagTable) error {
-	ctx := func(msg string, args ...any) error {
-		return fmt.Errorf("%s/%s: %s: %s", f.Name, b.Label, in.Op, fmt.Sprintf(msg, args...))
+func verifyInstr(ds []Diag, f *Func, b *Block, idx int, in *Instr, tt *TagTable) []Diag {
+	ctx := func(msg string, args ...any) {
+		ds = append(ds, Diag{Check: "verify", Func: f.Name, Block: b.Label, Index: idx, Op: in.Op, Msg: fmt.Sprintf(msg, args...)})
 	}
-	checkReg := func(r Reg) error {
+	checkReg := func(r Reg) {
 		if r < 0 || int(r) >= f.NumRegs {
-			return ctx("register r%d out of range [0,%d)", r, f.NumRegs)
+			ctx("register r%d out of range [0,%d)", r, f.NumRegs)
 		}
-		return nil
 	}
 	var buf [8]Reg
 	for _, r := range in.Uses(buf[:0]) {
-		if err := checkReg(r); err != nil {
-			return err
-		}
+		checkReg(r)
 	}
 	if d := in.Def(); d != RegInvalid {
-		if err := checkReg(d); err != nil {
-			return err
-		}
+		checkReg(d)
 	}
 	switch in.Op {
 	case OpCLoad, OpSLoad, OpSStore:
 		if tt != nil && (in.Tag < 0 || int(in.Tag) >= tt.Len()) {
-			return ctx("bad tag %d", in.Tag)
+			ctx("bad tag %d", in.Tag)
 		}
 		if in.Size != 1 && in.Size != 4 && in.Size != 8 {
-			return ctx("bad size %d", in.Size)
+			ctx("bad size %d", in.Size)
 		}
 	case OpPLoad, OpPStore:
 		if in.Size != 1 && in.Size != 4 && in.Size != 8 {
-			return ctx("bad size %d", in.Size)
+			ctx("bad size %d", in.Size)
 		}
 	case OpAddrOf:
 		if in.Callee == "" && tt != nil && (in.Tag < 0 || int(in.Tag) >= tt.Len()) {
-			return ctx("bad tag %d", in.Tag)
+			ctx("bad tag %d", in.Tag)
 		}
 	}
-	return nil
+	return ds
 }
 
-// VerifyModule verifies every function in the module.
-func VerifyModule(m *Module) error {
+// VerifyModuleAll verifies every function in the module, collecting
+// all violations.
+func VerifyModuleAll(m *Module) []Diag {
+	var ds []Diag
 	for _, f := range m.FuncsInOrder() {
-		if err := VerifyFunc(f, &m.Tags); err != nil {
-			return err
-		}
+		ds = append(ds, VerifyFuncAll(f, &m.Tags)...)
 	}
-	return nil
+	return ds
+}
+
+// VerifyModule verifies every function in the module, summarizing any
+// violations as a single error.
+func VerifyModule(m *Module) error {
+	return DiagError(VerifyModuleAll(m))
 }

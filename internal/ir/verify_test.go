@@ -1,0 +1,86 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVerifyFuncAllCollectsEveryViolation checks the collect-all
+// contract: a function with several independent defects yields one
+// Diag per defect with block/instruction provenance, and the
+// error-compatible summary names the first and counts the rest.
+func TestVerifyFuncAllCollectsEveryViolation(t *testing.T) {
+	fn := &Func{Name: "bad", NumRegs: 1}
+	b := fn.NewBlock("")
+	fn.Entry = b
+	b.Instrs = []Instr{
+		// Defect 1: register out of range.
+		{Op: OpCopy, Dst: 0, A: 42},
+		// Defect 2: invalid access size.
+		{Op: OpSLoad, Dst: 0, Tag: 0, Size: 3},
+		{Op: OpRet, A: RegInvalid},
+	}
+	var tt TagTable
+	tt.NewTag("g", TagGlobal, "", 8, 8)
+
+	ds := VerifyFuncAll(fn, &tt)
+	if len(ds) < 2 {
+		t.Fatalf("collected %d diagnostics %v, want at least 2", len(ds), ds)
+	}
+	for _, d := range ds {
+		if d.Func != "bad" || d.Block == "" || d.Index < 0 {
+			t.Errorf("diag missing provenance: %+v", d)
+		}
+		if d.Check != "verify" {
+			t.Errorf("diag check = %q, want verify", d.Check)
+		}
+	}
+
+	err := VerifyFunc(fn, &tt)
+	if err == nil {
+		t.Fatal("summary error is nil despite violations")
+	}
+	if !strings.Contains(err.Error(), ds[0].Msg) {
+		t.Errorf("summary %q does not lead with the first diag %q", err, ds[0].Msg)
+	}
+	if len(ds) > 1 && !strings.Contains(err.Error(), "more") {
+		t.Errorf("summary %q does not count the remaining diags", err)
+	}
+}
+
+// TestDiagStringForm pins the stable rendering every tool prints.
+func TestDiagStringForm(t *testing.T) {
+	cases := []struct {
+		d    Diag
+		want string
+	}{
+		{Diag{Check: "verify", Func: "f", Block: "B1", Index: 2, Op: OpSLoad, Msg: "boom"},
+			"[verify] f/B1#2: sLoad: boom"},
+		{Diag{Check: "cfg", Func: "f", Block: "B1", Index: -1, Msg: "unreachable block"},
+			"[cfg] f/B1: unreachable block"},
+		{Diag{Check: "arity", Func: "f", Index: -1, Msg: "missing"},
+			"[arity] f: missing"},
+		{Diag{Check: "sanitize.mod", Msg: "bare"},
+			"[sanitize.mod] bare"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestDiagError folds diagnostic lists into the error summary shape.
+func TestDiagError(t *testing.T) {
+	if DiagError(nil) != nil {
+		t.Error("empty list must fold to nil")
+	}
+	one := []Diag{{Check: "verify", Msg: "a"}}
+	if err := DiagError(one); err == nil || strings.Contains(err.Error(), "more") {
+		t.Errorf("single diag summary = %v", err)
+	}
+	two := append(one, Diag{Check: "verify", Msg: "b"})
+	if err := DiagError(two); err == nil || !strings.Contains(err.Error(), "and 1 more") {
+		t.Errorf("two-diag summary = %v", err)
+	}
+}

@@ -147,14 +147,19 @@ func promotePointerInLoop(fn *ir.Func, l *cfg.Loop, opts Options) Stats {
 		// that reached the pad, so the pad load reads the same cell
 		// the first iteration would.
 		v := fn.NewReg()
-		insertBeforeTerminator(l.Pad, ir.Instr{Op: ir.OpPLoad, Dst: v, A: base, Tags: g.tags, Size: g.size})
+		insertBeforeTerminator(l.Pad, ir.Instr{Op: ir.OpPLoad, Dst: v, A: base, Tags: g.tags, Size: g.size, Synth: true})
 		stats.LoadsInserted++
 		if !opts.SkipUnwrittenStores || g.stored {
 			for _, x := range l.Exits {
-				insertAtHead(x, ir.Instr{Op: ir.OpPStore, A: base, B: v, Tags: g.tags, Size: g.size})
+				insertAtHead(x, ir.Instr{Op: ir.OpPStore, A: base, B: v, Tags: g.tags, Size: g.size, Synth: true})
 				stats.StoresInserted++
 			}
 		}
+		body := make([]*ir.Block, 0, len(l.Blocks))
+		for b := range l.Blocks {
+			body = append(body, b)
+		}
+		stats.Regions = append(stats.Regions, Region{Func: fn.Name, Tag: ir.TagInvalid, Tags: g.tags, Body: body})
 		for _, in := range g.ops {
 			if in.Op == ir.OpPLoad {
 				*in = ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: v}

@@ -39,6 +39,26 @@ type Options struct {
 	PressureLimit int
 }
 
+// Region records one promoted region for the promotion-invariant
+// checker (internal/check): the loop-body blocks in which no explicit
+// access of the promoted location may survive. Exactly one of Tag and
+// Tags is meaningful: scalar regions name a single tag, §3.3 pointer
+// regions carry the group's may-set.
+type Region struct {
+	// Func is the enclosing function's name.
+	Func string
+	// Tag is the promoted scalar location; ir.TagInvalid for a
+	// pointer region.
+	Tag ir.TagID
+	// Tags is the may-set of a pointer region; empty for a scalar
+	// region.
+	Tags ir.TagSet
+	// Body holds the loop-body blocks at promotion time. Later passes
+	// may merge or delete blocks, so consumers must ignore pointers
+	// that are no longer in the function.
+	Body []*ir.Block
+}
+
 // Stats reports what promotion did.
 type Stats struct {
 	// ScalarPromotions counts (tag, outermost-loop) regions
@@ -52,17 +72,49 @@ type Stats struct {
 	// LoadsInserted and StoresInserted count the lifted operations.
 	LoadsInserted  int
 	StoresInserted int
+
+	// Regions lists every promoted region, for the promotion-
+	// invariant checker. Excluded from JSON reports: blocks are
+	// cyclic graph nodes, and the counts above already summarize the
+	// work done.
+	Regions []Region `json:"-"`
+}
+
+// Counters is the comparable scalar part of Stats (Regions reduced
+// to a count), for tests and logs that compare two runs.
+type Counters struct {
+	ScalarPromotions  int
+	PointerPromotions int
+	RefsRewritten     int
+	LoadsInserted     int
+	StoresInserted    int
+	Regions           int
+}
+
+// Counters summarizes s as a comparable value.
+func (s Stats) Counters() Counters {
+	return Counters{
+		ScalarPromotions:  s.ScalarPromotions,
+		PointerPromotions: s.PointerPromotions,
+		RefsRewritten:     s.RefsRewritten,
+		LoadsInserted:     s.LoadsInserted,
+		StoresInserted:    s.StoresInserted,
+		Regions:           len(s.Regions),
+	}
 }
 
 // Add folds another function's statistics into s. The driver's
 // parallel middle end accumulates per-function results with it; the
 // fold is commutative, so the accumulation order does not matter.
+// (Regions may end up in any order; consumers that need determinism
+// group them by function.)
 func (s *Stats) Add(o Stats) {
 	s.ScalarPromotions += o.ScalarPromotions
 	s.PointerPromotions += o.PointerPromotions
 	s.RefsRewritten += o.RefsRewritten
 	s.LoadsInserted += o.LoadsInserted
 	s.StoresInserted += o.StoresInserted
+	s.Regions = append(s.Regions, o.Regions...)
 }
 
 // Run promotes every function in the module.
@@ -184,7 +236,7 @@ func rewriteScalar(fn *ir.Func, forest *cfg.LoopForest, info *FuncInfo, opts Opt
 				continue // no actual references (cannot happen for Lift members)
 			}
 			// Promote: load into v before entering the loop.
-			insertBeforeTerminator(l.Pad, ir.Instr{Op: ir.OpSLoad, Dst: v, Tag: tag, Size: size})
+			insertBeforeTerminator(l.Pad, ir.Instr{Op: ir.OpSLoad, Dst: v, Tag: tag, Size: size, Synth: true})
 			stats.LoadsInserted++
 			// Demote: store at the loop exits. The store goes at the
 			// head of the exit block — the block may already contain
@@ -193,10 +245,15 @@ func rewriteScalar(fn *ir.Func, forest *cfg.LoopForest, info *FuncInfo, opts Opt
 			// loop never writes.
 			if !opts.SkipUnwrittenStores || ls.Stored.Has(tag) {
 				for _, x := range l.Exits {
-					insertAtHead(x, ir.Instr{Op: ir.OpSStore, A: v, Tag: tag, Size: size})
+					insertAtHead(x, ir.Instr{Op: ir.OpSStore, A: v, Tag: tag, Size: size, Synth: true})
 					stats.StoresInserted++
 				}
 			}
+			body := make([]*ir.Block, 0, len(l.Blocks))
+			for b := range l.Blocks {
+				body = append(body, b)
+			}
+			stats.Regions = append(stats.Regions, Region{Func: fn.Name, Tag: tag, Body: body})
 			// Rewrite every reference in the loop to a copy.
 			for b := range l.Blocks {
 				for i := range b.Instrs {
