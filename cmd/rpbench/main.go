@@ -28,6 +28,20 @@
 //	                         wall time and IR deltas per program — to a
 //	                         versioned BENCH_<timestamp>.json file
 //	-out path                destination for -json ("-" = stdout)
+//	rpbench -compare A[,B]   diff two benchmark reports and print the
+//	                         regression/improvement table: with one
+//	                         path, A is compared against the newest
+//	                         other BENCH_*.json baseline; with two,
+//	                         B is compared against A. Exits 1 when a
+//	                         deterministic metric (dynamic ops, loads,
+//	                         stores, promotions, spills) regressed past
+//	                         -threshold; wall-time and process-metric
+//	                         deltas are reported but never gate.
+//	rpbench -trend           print the accumulated BENCH_*.json history
+//	                         (one line per report with headline totals)
+//	                         and gate on the two newest reports
+//	-threshold P             gating percentage for -compare and -trend
+//	                         (default 1.0)
 package main
 
 import (
@@ -39,6 +53,7 @@ import (
 
 	"regpromo/internal/bench"
 	"regpromo/internal/interp"
+	"regpromo/internal/obs"
 )
 
 func main() {
@@ -52,7 +67,19 @@ func main() {
 	out := flag.String("out", "", "output path for -json (default BENCH_<timestamp>.json, \"-\" = stdout)")
 	parallel := flag.Int("parallel", 1, "programs measured concurrently (0 = one per CPU, 1 = serial)")
 	engineName := flag.String("engine", "flat", "interpreter engine: flat or switch")
+	compare := flag.String("compare", "", "diff reports: old.json,new.json (or one path vs the previous baseline)")
+	trend := flag.Bool("trend", false, "print the BENCH_*.json history and gate on the newest pair")
+	threshold := flag.Float64("threshold", 1.0, "regression gate percentage for -compare / -trend")
 	flag.Parse()
+
+	if *compare != "" {
+		runCompare(*compare, *threshold)
+		return
+	}
+	if *trend {
+		runTrend(*threshold)
+		return
+	}
 
 	if *list {
 		fmt.Print(bench.FormatFigure4())
@@ -117,8 +144,11 @@ func main() {
 
 // runJSON runs the observed measurement matrix and writes the
 // versioned report. Timestamped filenames sort chronologically, so the
-// newest file is the baseline bench.LatestBaseline picks up.
+// newest file is the baseline bench.LatestBaseline picks up. Metrics
+// are enabled so the report carries the process-wide snapshot
+// (schema 3).
 func runJSON(opts bench.Options, out string) error {
+	obs.EnableMetrics()
 	r, err := bench.CollectReport(opts)
 	if err != nil {
 		return err
@@ -128,12 +158,33 @@ func runJSON(opts bench.Options, out string) error {
 	if out == "-" {
 		return r.WriteJSON(os.Stdout)
 	}
-	if out == "" {
-		out = "BENCH_" + now.Format("20060102T150405") + ".json"
-	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
+	var f *os.File
+	if out != "" {
+		f, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Default name: BENCH_<timestamp>.json, uniquified with an _N
+		// suffix when two runs land in the same second — O_EXCL makes
+		// the existence check and the create one atomic step, so
+		// concurrent runs cannot silently overwrite each other. The _N
+		// suffix sorts after the bare name, keeping LatestBaseline's
+		// newest-by-name ordering correct.
+		base := "BENCH_" + now.Format("20060102T150405")
+		for n := 0; ; n++ {
+			out = base + ".json"
+			if n > 0 {
+				out = fmt.Sprintf("%s_%d.json", base, n)
+			}
+			f, err = os.OpenFile(out, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+			if err == nil {
+				break
+			}
+			if !os.IsExist(err) {
+				return err
+			}
+		}
 	}
 	if err := r.WriteJSON(f); err != nil {
 		f.Close()
@@ -145,6 +196,61 @@ func runJSON(opts bench.Options, out string) error {
 	fmt.Printf("wrote %s (%d programs, Figures 5, 6, and 7 plus the Figure 8 extension, schema %s)\n",
 		out, len(r.Programs), r.Schema)
 	return nil
+}
+
+// runCompare implements -compare: diff two reports and gate on the
+// deterministic metrics. "old.json,new.json" names both sides; a
+// single path is compared against the newest other BENCH_*.json in
+// the current directory.
+func runCompare(arg string, threshold float64) {
+	var oldPath, newPath string
+	var oldR, newR *bench.Report
+	var err error
+	if i := strings.IndexByte(arg, ','); i >= 0 {
+		oldPath, newPath = arg[:i], arg[i+1:]
+		if oldR, err = bench.LoadReport(oldPath); err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+			os.Exit(2)
+		}
+	} else {
+		newPath = arg
+		oldR, oldPath, err = bench.BaselineBefore(".", newPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench: no baseline to compare against:", err)
+			os.Exit(2)
+		}
+	}
+	if newR, err = bench.LoadReport(newPath); err != nil {
+		fmt.Fprintln(os.Stderr, "rpbench:", err)
+		os.Exit(2)
+	}
+	cr := bench.Compare(oldR, newR, threshold)
+	cr.OldPath, cr.NewPath = oldPath, newPath
+	fmt.Printf("comparing %s -> %s\n", oldPath, newPath)
+	fmt.Print(cr.Format())
+	if !cr.OK() {
+		os.Exit(1)
+	}
+}
+
+// runTrend implements -trend: print the whole BENCH_*.json history
+// and gate on its two newest reports.
+func runTrend(threshold float64) {
+	t, err := bench.LoadTrend(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpbench: no benchmark history:", err)
+		os.Exit(2)
+	}
+	fmt.Print(t.Format())
+	cr := t.Compare(threshold)
+	if cr == nil {
+		return
+	}
+	fmt.Printf("\nnewest pair: %s -> %s\n", cr.OldPath, cr.NewPath)
+	fmt.Print(cr.Format())
+	if !cr.OK() {
+		os.Exit(1)
+	}
 }
 
 func printTable(markdown bool, figure int, m bench.Metric, rows []bench.Row) {

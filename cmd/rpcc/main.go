@@ -20,6 +20,12 @@
 //	-json                      emit the whole compilation record — pass
 //	                           events, promotion and allocation
 //	                           statistics — as one JSON object
+//	-trace-out FILE            write the compile's hierarchical span
+//	                           tree (compile → passes → per-function
+//	                           middle-end work items on their workers →
+//	                           analysis fixpoints) as Chrome
+//	                           trace_event JSON; open the file in
+//	                           about:tracing or ui.perfetto.dev
 //	-check LEVEL               run the internal/check lint passes:
 //	                           "module" once after the pipeline,
 //	                           "pass" after the front end and after
@@ -60,6 +66,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print the per-pass trace table")
 	dumpIR := flag.String("dump-ir", "", "print the IL after the named pass (\"all\" = every pass)")
 	jsonOut := flag.Bool("json", false, "emit the compilation record as JSON")
+	traceOut := flag.String("trace-out", "", "write the compile's span tree as Chrome trace_event JSON to this file")
 	checkFlag := flag.String("check", "off", `IL checker level: "off", "module", or "pass" (after every pass)`)
 	flag.Parse()
 
@@ -102,8 +109,11 @@ func main() {
 
 	// Observe the pipeline whenever any telemetry output was asked for.
 	var pipe *obs.Pipeline
-	if *trace || *dumpIR != "" || *jsonOut {
+	if *trace || *dumpIR != "" || *jsonOut || *traceOut != "" {
 		pipe = &obs.Pipeline{DumpPass: *dumpIR}
+	}
+	if *traceOut != "" {
+		pipe.Tracer = obs.NewTracer()
 	}
 	c, err := driver.Compile(path, string(src), cfg, pipe)
 	if err != nil {
@@ -119,6 +129,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, pipe.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "rpcc:", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
 		if err := writeJSON(path, cfg, c, pipe); err != nil {
 			fmt.Fprintln(os.Stderr, "rpcc:", err)
@@ -165,9 +181,9 @@ func printFooter(c *driver.Compilation) {
 	fmt.Printf("; promotions: scalar=%d pointer=%d refs-rewritten=%d lifted-loads=%d lifted-stores=%d\n",
 		c.Promote.ScalarPromotions, c.Promote.PointerPromotions,
 		c.Promote.RefsRewritten, c.Promote.LoadsInserted, c.Promote.StoresInserted)
-	fmt.Printf("; allocation: spilled=%d spill-loads=%d spill-stores=%d coalesced=%d rounds=%d\n",
+	fmt.Printf("; allocation: spilled=%d spill-loads=%d spill-stores=%d coalesced=%d rounds=%d max-live=%d\n",
 		c.Alloc.Spilled, c.Alloc.SpillLoads, c.Alloc.SpillStores,
-		c.Alloc.Coalesced, c.Alloc.Rounds)
+		c.Alloc.Coalesced, c.Alloc.Rounds, c.Alloc.MaxLive)
 }
 
 // record is the -json output shape: one compilation, fully described.
@@ -180,6 +196,20 @@ type record struct {
 		Promote promote.Stats  `json:"promote"`
 		Alloc   regalloc.Stats `json:"alloc"`
 	} `json:"stats"`
+}
+
+// writeTrace writes the collected span tree as Chrome trace_event
+// JSON to path.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeJSON(path string, cfg driver.Config, c *driver.Compilation, pipe *obs.Pipeline) error {

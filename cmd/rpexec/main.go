@@ -17,7 +17,10 @@
 // pre-lowered default, or switch, the block-walking reference); both
 // produce identical counts, so the choice only changes wall time.
 // -cpuprofile writes a Go pprof profile of the whole compile+run, for
-// profiling the measurement loop itself.
+// profiling the measurement loop itself. -trace-out writes the
+// compile and execute spans as Chrome trace_event JSON, and -metrics
+// enables the process-wide metrics registry and prints its snapshot
+// after the run.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 
 	"regpromo/internal/driver"
 	"regpromo/internal/interp"
+	"regpromo/internal/obs"
 )
 
 func main() {
@@ -46,6 +50,8 @@ func main() {
 	engineName := flag.String("engine", "flat", "interpreter engine: flat or switch")
 	sanitize := flag.Bool("sanitize", false, "diff observed memory behaviour against the static analyses")
 	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the compile+run to this file")
+	traceOut := flag.String("trace-out", "", "write compile+execute spans as Chrome trace_event JSON to this file")
+	metrics := flag.Bool("metrics", false, "enable the metrics registry and print its snapshot after the run")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -99,15 +105,30 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	c, err := driver.CompileSource(path, string(src), cfg)
+	if *metrics {
+		obs.EnableMetrics()
+	}
+	var pipe *obs.Pipeline
+	if *traceOut != "" {
+		pipe = &obs.Pipeline{Tracer: obs.NewTracer()}
+	}
+	c, err := driver.Compile(path, string(src), cfg, pipe)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpexec:", err)
 		os.Exit(1)
 	}
+	esp := pipe.StartSpan("execute", "interp", 0).Label("engine", engine.String())
 	res, err := c.Execute(interp.Options{MaxSteps: *maxSteps, Profile: *profile, Engine: engine, Sanitize: *sanitize})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpexec:", err)
 		os.Exit(1)
+	}
+	esp.Arg("ops", res.Counts.Ops).Arg("loads", res.Counts.Loads).Arg("stores", res.Counts.Stores).End()
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, pipe.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "rpexec:", err)
+			os.Exit(1)
+		}
 	}
 	if !*quiet {
 		fmt.Print(res.Output)
@@ -118,6 +139,9 @@ func main() {
 	if res.Profile != nil {
 		fmt.Print(res.Profile.Format(*top))
 	}
+	if *metrics {
+		fmt.Print(obs.Metrics().Snapshot().Format())
+	}
 	if len(res.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "rpexec: sanitizer: %d violation(s):\n", len(res.Violations))
 		for _, d := range res.Violations {
@@ -125,4 +149,18 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// writeTrace writes the collected span tree as Chrome trace_event
+// JSON to path.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -27,7 +27,13 @@
 //	              archived like any other
 //	-noreduce     archive failures without shrinking them first
 //	-corpus DIR   failure artifact directory (default difftest/corpus)
+//	-progress N   print a progress line every N completed seeds
+//	              (default 100; 0 disables)
 //	-v            log each divergent seed as it is found
+//
+// Long runs are not silent: a progress line (seeds done, divergences,
+// sanitizer violations, elapsed, seeds/sec) goes to stderr every
+// -progress seeds, and a matching summary line always ends the run.
 //
 // Exit status is 0 when every seed agrees under every configuration,
 // 1 when any divergence was found, 2 on usage or I/O errors. Each
@@ -41,6 +47,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"regpromo/internal/difftest"
 )
@@ -54,6 +62,7 @@ func main() {
 	corpus := flag.String("corpus", "difftest/corpus", "failure artifact directory")
 	engines := flag.String("engines", "flat", `interpreter engines: "flat" or "both" (flat vs switch cross-check)`)
 	sanitize := flag.Bool("sanitize", false, "run executions under the analysis-soundness sanitizer")
+	progressEvery := flag.Int64("progress", 100, "print a progress line every N completed seeds (0 = off)")
 	verbose := flag.Bool("v", false, "log each divergence as it is found")
 	flag.Parse()
 	if *seeds <= 0 {
@@ -75,11 +84,26 @@ func main() {
 		Reduce:      !*noreduce,
 		CorpusDir:   *corpus,
 	}
-	if *verbose {
-		opts.Progress = func(seed int64, diverged bool) {
-			if diverged {
+
+	// Progress accounting shared by the (possibly parallel) seed
+	// workers. Progress runs on worker goroutines, so everything it
+	// touches is atomic.
+	began := time.Now()
+	var done, diverged, sanitizerHits atomic.Int64
+	opts.Progress = func(seed int64, div, san bool) {
+		n := done.Add(1)
+		if div {
+			diverged.Add(1)
+			if *verbose {
 				fmt.Fprintf(os.Stderr, "rpfuzz: seed %d diverges\n", seed)
 			}
+		}
+		if san {
+			sanitizerHits.Add(1)
+		}
+		if *progressEvery > 0 && n%*progressEvery == 0 {
+			fmt.Fprintf(os.Stderr, "rpfuzz: %s\n",
+				statusLine(n, *seeds, diverged.Load(), sanitizerHits.Load(), time.Since(began)))
 		}
 	}
 
@@ -88,8 +112,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rpfuzz:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("rpfuzz: %d seeds [%d, %d) × %d configs: %d divergences\n",
-		report.Seeds, *start, *start+*seeds, len(report.Matrix), len(report.Failures))
+	fmt.Printf("rpfuzz: seeds [%d, %d) × %d configs: %s\n",
+		*start, *start+*seeds, len(report.Matrix),
+		statusLine(done.Load(), *seeds, diverged.Load(), sanitizerHits.Load(), time.Since(began)))
 	if len(report.Failures) == 0 {
 		return
 	}
@@ -98,6 +123,17 @@ func main() {
 			f.Seed, f.Units, f.Dir, indent(f.Divergence))
 	}
 	os.Exit(1)
+}
+
+// statusLine renders the shared progress/summary form: seeds done,
+// divergences, sanitizer violations, elapsed wall time, seeds/sec.
+func statusLine(done, total, diverged, sanitizer int64, elapsed time.Duration) string {
+	rate := 0.0
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate = float64(done) / secs
+	}
+	return fmt.Sprintf("%d/%d seeds, %d divergences (%d sanitizer), %.1fs elapsed, %.1f seeds/sec",
+		done, total, diverged, sanitizer, elapsed.Seconds(), rate)
 }
 
 func indent(s string) string {

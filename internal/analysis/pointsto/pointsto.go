@@ -22,6 +22,7 @@ import (
 	"regpromo/internal/callgraph"
 	"regpromo/internal/dataflow"
 	"regpromo/internal/ir"
+	"regpromo/internal/obs"
 )
 
 // Result maps analysis facts back to the program.
@@ -33,6 +34,10 @@ type Result struct {
 	mod  *ir.Module
 	// mem gives the points-to set of the value stored in each tag.
 	mem []node
+	// Steps counts function re-analyses the sparse fixpoint performed —
+	// deterministic for a given module, so it is safe to compare across
+	// runs and report in telemetry.
+	Steps int
 }
 
 // node is one points-to set: program tags plus possible function
@@ -161,7 +166,13 @@ func Run(m *ir.Module, cg *callgraph.Graph) *Result {
 		if !ok {
 			break
 		}
+		a.res.Steps++
 		a.function(callgraph.FuncID(id), funcs[id])
+	}
+	if r := obs.Metrics(); r != nil {
+		r.Counter("pointsto.runs").Inc()
+		r.Counter("pointsto.steps").Add(int64(a.res.Steps))
+		r.Counter("pointsto.pushes").Add(int64(a.w.Pushes()))
 	}
 
 	a.narrow()

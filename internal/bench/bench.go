@@ -126,11 +126,18 @@ func frontend(p Program) (*driver.Frontend, error) {
 
 // execute runs a compiled program and packages the measurement.
 func execute(p Program, c *driver.Compilation, engine interp.Engine, reused bool, pipe *obs.Pipeline) (*Measurement, error) {
+	sp := pipe.StartSpan("execute", "interp", 0).
+		Label("program", p.Name).Label("engine", engine.String())
 	start := time.Now()
 	res, err := c.Execute(interp.Options{MaxSteps: 1 << 33, Engine: engine})
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
+	sp.Arg("ops", res.Counts.Ops).
+		Arg("loads", res.Counts.Loads).
+		Arg("stores", res.Counts.Stores).
+		End()
 	m := &Measurement{
 		Counts:  res.Counts,
 		Output:  res.Output,

@@ -17,8 +17,10 @@ import (
 // SchemaVersion identifies the BENCH_*.json layout. Bump it when the
 // report shape changes incompatibly. regpromo-bench/2 added the
 // per-stage compile wall-time breakdown (ConfigReport.StageNS: wall
-// time by frontend / interprocedural analysis / per-function passes).
-const SchemaVersion = "regpromo-bench/2"
+// time by frontend / interprocedural analysis / per-function passes);
+// regpromo-bench/3 added the process-wide metrics snapshot
+// (Report.Metrics) captured after the measurement matrix ran.
+const SchemaVersion = "regpromo-bench/3"
 
 // BaselineGlob matches versioned benchmark reports in the repo root.
 const BaselineGlob = "BENCH_*.json"
@@ -35,6 +37,9 @@ type Report struct {
 	MemLatency int             `json:"mem_latency"`
 	Programs   []ProgramReport `json:"programs"`
 	Figures    []FigureReport  `json:"figures"`
+	// Metrics is the process-wide metrics snapshot taken right after
+	// the matrix ran, when metrics were enabled for the run (schema 3+).
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // ProgramReport is one suite member's results across configurations.
@@ -106,6 +111,9 @@ func CollectReport(opts Options) (*Report, error) {
 	}
 	r := &Report{Schema: SchemaVersion, MemLatency: MemLatency, Programs: reports}
 	r.Figures = r.buildFigures()
+	if reg := obs.Metrics(); reg != nil {
+		r.Metrics = reg.Snapshot()
+	}
 	return r, nil
 }
 
@@ -219,6 +227,10 @@ func (r *Report) Program(name string) (*ProgramReport, bool) {
 // runs this way.
 func (r *Report) StripTimings() {
 	r.Timestamp = ""
+	// The metrics snapshot is process-wide — it accumulates across every
+	// compilation the process ran, not just this report's matrix — so it
+	// cannot survive a determinism comparison.
+	r.Metrics = nil
 	for i := range r.Programs {
 		for j := range r.Programs[i].Configs {
 			c := &r.Programs[i].Configs[j]

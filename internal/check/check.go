@@ -16,6 +16,7 @@ package check
 import (
 	"regpromo/internal/callgraph"
 	"regpromo/internal/ir"
+	"regpromo/internal/obs"
 	"regpromo/internal/opt/promote"
 )
 
@@ -83,9 +84,14 @@ func Module(ctx *Context) []Diag {
 	for i, p := range Passes() {
 		out := p.Run(ctx)
 		if i == 0 && len(out) > 0 {
-			return out
+			ds = out
+			break
 		}
 		ds = append(ds, out...)
+	}
+	if r := obs.Metrics(); r != nil {
+		r.Counter("check.runs").Inc()
+		r.Counter("check.diags").Add(int64(len(ds)))
 	}
 	return ds
 }

@@ -18,6 +18,7 @@ import (
 	"container/heap"
 
 	"regpromo/internal/ir"
+	"regpromo/internal/obs"
 )
 
 // Postorder returns fn's blocks reachable from Entry in postorder
@@ -72,6 +73,7 @@ type Worklist struct {
 	rank   []int // rank[id] = drain priority of item id
 	queued []bool
 	heap   workHeap
+	pushes int // enqueues that actually landed (dedup hits excluded)
 }
 
 // NewWorklist builds a worklist for items 0..len(rank)-1 where rank[i]
@@ -90,8 +92,14 @@ func (w *Worklist) Push(id int) {
 		return
 	}
 	w.queued[id] = true
+	w.pushes++
 	heap.Push(&w.heap, workItem{id: id, rank: w.rank[id]})
 }
+
+// Pushes returns how many enqueues landed on the worklist so far
+// (pushes deduplicated away are not counted) — a schedule-independent
+// measure of how much re-examination the fixpoint needed.
+func (w *Worklist) Pushes() int { return w.pushes }
 
 // Pop removes and returns the pending item with the lowest rank;
 // ok is false when the worklist is empty.
@@ -154,6 +162,12 @@ func SolveBlocks(fn *ir.Func, dir Direction, transfer func(b *ir.Block) bool) in
 	for {
 		id, ok := w.Pop()
 		if !ok {
+			if r := obs.Metrics(); r != nil {
+				r.Counter("dataflow.solves").Inc()
+				r.Counter("dataflow.steps").Add(int64(steps))
+				r.Counter("dataflow.pushes").Add(int64(w.pushes))
+				r.Histogram("dataflow.steps_per_solve", obs.SizeBuckets).Observe(int64(steps))
+			}
 			return steps
 		}
 		b := byID[id]

@@ -238,6 +238,10 @@ func sameDiags(a, b []ir.Diag) bool {
 type Failure struct {
 	Seed       int64
 	Divergence string
+	// Sanitizer is true when the divergence includes an
+	// analysis-soundness sanitizer violation (as opposed to a pure
+	// behavioural or engine disagreement).
+	Sanitizer bool
 	// Reduced is the shrunk source (equal to the original when
 	// reduction was disabled or could not shrink it).
 	Reduced string
@@ -273,8 +277,10 @@ type FuzzOptions struct {
 	// divergent seed.
 	CorpusDir string
 	// Progress, when non-nil, is called after each seed completes
-	// (from worker goroutines, possibly out of order).
-	Progress func(seed int64, diverged bool)
+	// (from worker goroutines, possibly out of order). sanitizer
+	// reports whether the seed's divergence includes an
+	// analysis-soundness sanitizer violation.
+	Progress func(seed int64, diverged, sanitizer bool)
 }
 
 // FuzzReport summarizes a fuzzing run.
@@ -297,13 +303,23 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 		seed := opts.Start + int64(i)
 		r := DiffSeedMode(seed, matrix, Mode{BothEngines: opts.BothEngines, Sanitize: opts.Sanitize})
 		div := r.Divergence()
+		sanitizer := strings.Contains(div, "sanitizer:")
+		if reg := obs.Metrics(); reg != nil {
+			reg.Counter("difftest.seeds").Inc()
+			if div != "" {
+				reg.Counter("difftest.divergences").Inc()
+			}
+			if sanitizer {
+				reg.Counter("difftest.sanitizer_divergences").Inc()
+			}
+		}
 		if opts.Progress != nil {
-			opts.Progress(seed, div != "")
+			opts.Progress(seed, div != "", sanitizer)
 		}
 		if div == "" {
 			return nil, nil
 		}
-		f := &Failure{Seed: seed, Divergence: div, Reduced: r.Source, Units: testgen.Units(seed)}
+		f := &Failure{Seed: seed, Divergence: div, Sanitizer: sanitizer, Reduced: r.Source, Units: testgen.Units(seed)}
 		if opts.Reduce {
 			f.Reduced, f.Units = Reduce(seed, func(src string) bool {
 				m := Mode{BothEngines: opts.BothEngines, Sanitize: opts.Sanitize}

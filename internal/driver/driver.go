@@ -195,10 +195,11 @@ type pass struct {
 // mutex guards the Stats fields of c during parallel groups; both
 // folds are commutative, so the accumulation order cannot show.
 type pipeState struct {
-	cfg Config
-	c   *Compilation
-	cg  *callgraph.Graph
-	mu  sync.Mutex
+	cfg  Config
+	c    *Compilation
+	cg   *callgraph.Graph
+	pipe *obs.Pipeline // observer, for nested analysis spans; may be nil
+	mu   sync.Mutex
 }
 
 // Canonical pass names, in the order the full pipeline runs them.
@@ -225,21 +226,33 @@ func (cfg Config) passes() []pass {
 	var ps []pass
 	ps = append(ps, pass{name: PassModRef, run: func(s *pipeState) (map[string]int64, error) {
 		s.cg = callgraph.Build(s.c.Module)
+		sp := s.pipe.StartSpan("modref.fixpoint", "analysis", 0)
 		modref.Run(s.c.Module, s.cg)
-		return nil, nil
+		sp.Arg("funcs", int64(s.cg.NumFuncs())).End()
+		return map[string]int64{
+			"funcs": int64(s.cg.NumFuncs()),
+			"tags":  int64(s.c.Module.Tags.Len()),
+		}, nil
 	}})
 	if cfg.Analysis == PointsTo {
 		ps = append(ps, pass{name: PassPointsTo, run: func(s *pipeState) (map[string]int64, error) {
 			m := s.c.Module
-			pointsto.Run(m, s.cg)
+			sp := s.pipe.StartSpan("pointsto.fixpoint", "analysis", 0)
+			res := pointsto.Run(m, s.cg)
+			sp.Arg("steps", int64(res.Steps)).End()
 			modref.RefineMemOps(m)
 			// Indirect-call targets may have been pinned; rebuild
 			// the call graph so the repeated MOD/REF run sees the
 			// refined edges (§4: "MOD/REF analysis is then
 			// repeated").
 			s.cg = callgraph.Build(m)
+			sp = s.pipe.StartSpan("modref.fixpoint", "analysis", 0)
 			modref.Run(m, s.cg)
-			return nil, nil
+			sp.Arg("funcs", int64(s.cg.NumFuncs())).End()
+			return map[string]int64{
+				"steps": int64(res.Steps),
+				"tags":  int64(m.Tags.Len()),
+			}, nil
 		}})
 	}
 	// The classical passes report how many rewrites they performed;
@@ -323,6 +336,7 @@ func (cfg Config) passes() []pass {
 			"spill_stores": int64(st.SpillStores),
 			"coalesced":    int64(st.Coalesced),
 			"rounds":       int64(st.Rounds),
+			"max_live":     int64(st.MaxLive),
 		}
 	}
 	if !cfg.NoAlloc {
@@ -403,6 +417,8 @@ func CompileSource(filename, src string, cfg Config) (*Compilation, error) {
 // end once with ParseSource and fork each pipeline with
 // Frontend.Compile instead.
 func Compile(filename, src string, cfg Config, pipe *obs.Pipeline) (*Compilation, error) {
+	sp := pipe.StartSpan("compile", "compile", 0)
+	defer sp.End()
 	fe, err := ParseSourceObserved(filename, src, pipe)
 	if err != nil {
 		return nil, err
@@ -424,7 +440,13 @@ func Compile(filename, src string, cfg Config, pipe *obs.Pipeline) (*Compilation
 // the whole module parked at that pass boundary, a state pipelined
 // execution never materializes.
 func compilePasses(c *Compilation, cfg Config, pipe *obs.Pipeline) (*Compilation, error) {
-	s := &pipeState{cfg: cfg, c: c}
+	s := &pipeState{cfg: cfg, c: c, pipe: pipe}
+	if r := obs.Metrics(); r != nil {
+		r.Counter("compile.compiles").Inc()
+	}
+	if pipe != nil {
+		pipe.Tracer.NameThread(0, "main")
+	}
 	ps := cfg.passes()
 	serial := cfg.Workers == 1 || cfg.Check == CheckEveryPass ||
 		(pipe != nil && pipe.DumpPass != "")
@@ -517,11 +539,25 @@ func runGroup(s *pipeState, group []pass, pipe *obs.Pipeline) error {
 	fns := m.FuncsInOrder()
 	recs := make([][]funcStage, len(fns))
 	staged := make([]*ir.StagedTags, len(fns))
-	if _, err := par.ParallelMap(len(fns), s.cfg.Workers, func(i int) (struct{}, error) {
+	var tr *obs.Tracer
+	if pipe != nil {
+		tr = pipe.Tracer
+	}
+	if r := obs.Metrics(); r != nil {
+		r.Counter("compile.functions").Add(int64(len(fns)))
+	}
+	if _, err := par.ParallelMapWorker(len(fns), s.cfg.Workers, func(worker, i int) (struct{}, error) {
 		fn := fns[i]
 		st := &ir.StagedTags{}
 		staged[i] = st
 		rs := make([]funcStage, len(group))
+		// Middle-end work items are attributed to logical thread
+		// worker+1 (tid 0 is the coordinating goroutine).
+		tid := worker + 1
+		if tr != nil {
+			tr.NameThread(tid, fmt.Sprintf("worker %d", worker))
+		}
+		fsp := tr.Start(fn.Name, "middleend", tid).Arg("worker", int64(worker))
 		for j := range group {
 			if pipe == nil {
 				if _, err := group[j].fn(s, fn, st); err != nil {
@@ -529,16 +565,19 @@ func runGroup(s *pipeState, group []pass, pipe *obs.Pipeline) error {
 				}
 				continue
 			}
+			psp := tr.Start(group[j].name, "pass", tid).Label("func", fn.Name)
 			rs[j].before = obs.MeasureFunc(fn)
 			start := time.Now()
 			extra, err := group[j].fn(s, fn, st)
 			rs[j].durNS = time.Since(start).Nanoseconds()
+			psp.AddArgs(extra).End()
 			if err != nil {
 				return struct{}{}, err
 			}
 			rs[j].after = obs.MeasureFunc(fn)
 			rs[j].extra = extra
 		}
+		fsp.End()
 		recs[i] = rs
 		return struct{}{}, nil
 	}); err != nil {

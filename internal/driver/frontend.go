@@ -84,6 +84,8 @@ func (fe *Frontend) Clones() int64 { return fe.clones.Load() }
 // replaces a repeated front-end run) and the configuration's pass list
 // runs over the clone. Safe to call concurrently.
 func (fe *Frontend) Compile(cfg Config, pipe *obs.Pipeline) (*Compilation, error) {
+	sp := pipe.StartSpan("compile", "compile", 0)
+	defer sp.End()
 	c := &Compilation{}
 	err := pipe.Observe(PassFrontendReuse, nil, func() (map[string]int64, error) {
 		c.Module = fe.NewModule()

@@ -1,0 +1,145 @@
+package driver_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"regpromo/internal/bench"
+	"regpromo/internal/driver"
+	"regpromo/internal/interp"
+	"regpromo/internal/obs"
+)
+
+// TestTracedParallelCompile compiles with the parallel middle end
+// under a tracer and checks the structure of the Chrome export: valid
+// JSON, a root compile span on tid 0, and middle-end function spans
+// attributed to worker threads (tid >= 1) carrying their worker id.
+func TestTracedParallelCompile(t *testing.T) {
+	p := bench.Suite()[0]
+	fe, err := driver.ParseSource(p.Name+".c", bench.Source(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := &obs.Pipeline{Tracer: obs.NewTracer()}
+	cfg := driver.Config{Analysis: driver.PointsTo, Promote: true, Workers: 4}
+	if _, err := fe.Compile(cfg, pipe); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := pipe.Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", trace.DisplayTimeUnit)
+	}
+
+	var sawCompile, sawWorkerSpan, sawThreadName bool
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				sawThreadName = true
+			}
+		case "X":
+			if ev.PID != 1 {
+				t.Errorf("span %q: pid = %d, want 1", ev.Name, ev.PID)
+			}
+			if ev.Dur == nil {
+				t.Errorf("span %q: missing dur", ev.Name)
+			}
+			if ev.Name == "compile" && ev.TID == 0 {
+				sawCompile = true
+			}
+			if ev.Cat == "middleend" {
+				if ev.TID < 1 {
+					t.Errorf("middle-end span %q on tid %d, want >= 1", ev.Name, ev.TID)
+				}
+				if _, ok := ev.Args["worker"]; !ok {
+					t.Errorf("middle-end span %q: no worker attribute", ev.Name)
+				}
+				sawWorkerSpan = true
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if !sawCompile {
+		t.Error("no root compile span on tid 0")
+	}
+	if !sawWorkerSpan {
+		t.Error("no worker-attributed middle-end span")
+	}
+	if !sawThreadName {
+		t.Error("no thread_name metadata")
+	}
+
+	// The span stream must include the analysis fixpoints the driver
+	// wraps.
+	var sawFixpoint bool
+	for _, sp := range pipe.Tracer.Spans() {
+		if sp.Cat == "analysis" {
+			sawFixpoint = true
+		}
+	}
+	if !sawFixpoint {
+		t.Error("no analysis fixpoint span recorded")
+	}
+}
+
+// benchCompileExecute is one compile+execute of the first suite
+// program, the unit BenchmarkObsOverhead compares with observability
+// off and on.
+func benchCompileExecute(b *testing.B, fe *driver.Frontend, pipe *obs.Pipeline) {
+	cfg := driver.Config{Analysis: driver.ModRef, Promote: true}
+	c, err := fe.Compile(cfg, pipe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Execute(interp.Options{}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkObsOverhead quantifies the observability tax. The "off"
+// variant is the default state — no pipeline, tracer, or metrics; the
+// acceptance bar is that it stays within noise (≤1%) of what the
+// compiler did before the span/metrics layer existed, which this
+// benchmark makes checkable against the committed BenchmarkCompileMatrix
+// history. The "spans+metrics" variant pays for full tracing.
+func BenchmarkObsOverhead(b *testing.B) {
+	p := bench.Suite()[0]
+	fe, err := driver.ParseSource(p.Name+".c", bench.Source(p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("off", func(b *testing.B) {
+		obs.DisableMetrics()
+		for i := 0; i < b.N; i++ {
+			benchCompileExecute(b, fe, nil)
+		}
+	})
+	b.Run("spans+metrics", func(b *testing.B) {
+		obs.EnableMetrics()
+		defer obs.DisableMetrics()
+		for i := 0; i < b.N; i++ {
+			benchCompileExecute(b, fe, &obs.Pipeline{Tracer: obs.NewTracer()})
+		}
+	})
+}

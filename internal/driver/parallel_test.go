@@ -33,7 +33,12 @@ func TestParallelMatchesSerial(t *testing.T) {
 				// serial loop and test nothing.
 				parallelCfg.Workers = 4
 
-				var serialPipe, parallelPipe obs.Pipeline
+				// Both observers carry live tracers: span collection
+				// must never perturb the compile (in particular it
+				// must not force the parallel middle end onto its
+				// serial fallback).
+				serialPipe := obs.Pipeline{Tracer: obs.NewTracer()}
+				parallelPipe := obs.Pipeline{Tracer: obs.NewTracer()}
 				sc, err := fe.Compile(serialCfg, &serialPipe)
 				if err != nil {
 					t.Fatalf("serial compile: %v", err)
@@ -79,6 +84,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 					if fmt.Sprint(se.Extra) != fmt.Sprint(pe.Extra) {
 						t.Errorf("%s: extras differ: serial %v, parallel %v", se.Name, se.Extra, pe.Extra)
 					}
+				}
+				if len(serialPipe.Tracer.Spans()) == 0 || len(parallelPipe.Tracer.Spans()) == 0 {
+					t.Error("a tracer recorded no spans")
 				}
 			})
 		}

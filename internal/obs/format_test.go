@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFormatTableEmpty checks the degenerate observers: a nil
+// pipeline and a pipeline that observed nothing both render as the
+// empty string (rpcc -trace prints nothing rather than a bare
+// header).
+func TestFormatTableEmpty(t *testing.T) {
+	var nilPipe *Pipeline
+	if got := nilPipe.FormatTable(); got != "" {
+		t.Errorf("nil pipeline renders %q", got)
+	}
+	if got := (&Pipeline{}).FormatTable(); got != "" {
+		t.Errorf("empty pipeline renders %q", got)
+	}
+}
+
+// TestFormatTableZeroDuration checks that instantaneous passes (the
+// merged parallel middle end can record 0ns for a pass that did no
+// work) render with an explicit 0µs, not garbage.
+func TestFormatTableZeroDuration(t *testing.T) {
+	p := &Pipeline{}
+	snap := Snapshot{Funcs: 1, Blocks: 1, Instrs: 3}
+	p.Append(&PassEvent{Name: "noop", DurationNS: 0, Before: snap, After: snap})
+	out := p.FormatTable()
+	if !strings.Contains(out, "0µs") {
+		t.Errorf("zero-duration pass missing 0µs:\n%s", out)
+	}
+	if !strings.Contains(out, "total 0µs") {
+		t.Errorf("total line missing 0µs:\n%s", out)
+	}
+}
+
+// TestFormatTableMergedSnapshots drives FormatTable with an event
+// assembled the way the parallel middle end does it: per-function
+// snapshots folded together with Add, appended rather than observed.
+// The table's delta and final-state lines must reflect the merged
+// sums.
+func TestFormatTableMergedSnapshots(t *testing.T) {
+	fnA := Snapshot{Funcs: 1, Blocks: 2, Instrs: 10, Mem: MemOps{ScalarLoads: 4, ScalarStores: 2}}
+	fnB := Snapshot{Funcs: 1, Blocks: 3, Instrs: 20, Mem: MemOps{ScalarLoads: 6, PtrStores: 1}}
+	before := fnA.Add(fnB)
+	// Promotion removes 5 scalar loads from A and 2 from B.
+	afterA, afterB := fnA, fnB
+	afterA.Mem.ScalarLoads -= 3
+	afterA.Instrs -= 3
+	afterB.Mem.ScalarLoads -= 4
+	afterB.Instrs -= 4
+	p := &Pipeline{}
+	p.Append(&PassEvent{
+		Name:       "promote",
+		DurationNS: 1500,
+		Before:     before,
+		After:      afterA.Add(afterB),
+		Extra:      map[string]int64{"promotions": 2},
+	})
+	out := p.FormatTable()
+	// Δinstr −7, ΔsLoad −7 from the merged snapshots.
+	if !strings.Contains(out, "-7") {
+		t.Errorf("merged delta missing:\n%s", out)
+	}
+	if !strings.Contains(out, "funcs=2 blocks=5 instrs=23") {
+		t.Errorf("final merged totals wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "sLoad=3") {
+		t.Errorf("final merged scalar loads wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "promotions=2") {
+		t.Errorf("extra line missing:\n%s", out)
+	}
+}

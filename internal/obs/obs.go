@@ -282,8 +282,22 @@ type Pipeline struct {
 	// into its event ("all" captures every pass).
 	DumpPass string
 
+	// Tracer, when non-nil, receives a hierarchical span for each
+	// observed pass (and whatever the driver nests inside them);
+	// nil keeps the pipeline span-free at zero cost.
+	Tracer *Tracer
+
 	// Events accumulate in pipeline order.
 	Events []*PassEvent
+}
+
+// StartSpan opens a span on the pipeline's tracer; with a nil
+// pipeline or nil tracer it returns a no-op zero Span.
+func (p *Pipeline) StartSpan(name, cat string, tid int) Span {
+	if p == nil {
+		return Span{}
+	}
+	return p.Tracer.Start(name, cat, tid)
 }
 
 // Observe runs one pass under observation: it snapshots m, times run,
@@ -299,19 +313,33 @@ func (p *Pipeline) Observe(name string, m *ir.Module, run func() (map[string]int
 		Name:   name,
 		Before: Measure(m),
 	}
+	sp := p.Tracer.Start(name, "pass", 0)
 	start := time.Now()
 	extra, err := run()
 	ev.DurationNS = time.Since(start).Nanoseconds()
+	sp.AddArgs(extra).End()
 	if err != nil {
 		return err
 	}
 	ev.After = Measure(m)
 	ev.Extra = extra
+	recordPassMetrics(ev.DurationNS)
 	if m != nil && (p.DumpPass == DumpAll || p.DumpPass == name) {
 		ev.IRDump = ir.FormatModule(m)
 	}
 	p.Events = append(p.Events, ev)
 	return nil
+}
+
+// recordPassMetrics reports one pass completion to the process-wide
+// registry (no-op while metrics are disabled).
+func recordPassMetrics(durNS int64) {
+	r := Metrics()
+	if r == nil {
+		return
+	}
+	r.Counter("compile.passes").Inc()
+	r.Histogram("compile.pass_ns", DurationBucketsNS).Observe(durNS)
 }
 
 // Append adds a pre-assembled event to the stream, assigning its
@@ -325,6 +353,7 @@ func (p *Pipeline) Append(ev *PassEvent) {
 	}
 	ev.Index = len(p.Events)
 	p.Events = append(p.Events, ev)
+	recordPassMetrics(ev.DurationNS)
 }
 
 // Event returns the first event with the given pass name, or nil.

@@ -28,6 +28,15 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // single-worker and many-worker runs agree on which error surfaces
 // whenever only one item fails.
 func ParallelMap[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return ParallelMapWorker(n, workers, func(_, i int) (T, error) { return fn(i) })
+}
+
+// ParallelMapWorker is ParallelMap with the pool slot exposed: fn
+// receives (worker, i) where worker identifies which of the pool's
+// goroutines ran item i (0..workers-1; the serial single-worker path
+// is worker 0). Telemetry uses it to attribute work items to logical
+// threads; correctness must never depend on which worker ran an item.
+func ParallelMapWorker[T any](n, workers int, fn func(worker, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -40,7 +49,7 @@ func ParallelMap[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) 
 	results := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			r, err := fn(i)
+			r, err := fn(0, i)
 			if err != nil {
 				return nil, err
 			}
@@ -59,14 +68,14 @@ func ParallelMap[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) 
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n || failed.Load() {
 					return
 				}
-				r, err := fn(i)
+				r, err := fn(worker, i)
 				if err != nil {
 					failed.Store(true)
 					mu.Lock()
@@ -78,7 +87,7 @@ func ParallelMap[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) 
 				}
 				results[i] = r
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstEr != nil {

@@ -6,6 +6,7 @@ import (
 
 	"regpromo/internal/cfg"
 	"regpromo/internal/ir"
+	"regpromo/internal/obs"
 )
 
 // DefaultK is the physical register count used by the experiments,
@@ -40,10 +41,16 @@ type Stats struct {
 	Coalesced int
 	// Rounds is the number of build–color iterations used.
 	Rounds int
+	// MaxLive is the largest live set observed at any block boundary
+	// while building the interference graph — the register-pressure
+	// figure promotion policies are judged against.
+	MaxLive int
 }
 
 // Add folds per-function stats into a module total. Counters sum;
-// Rounds takes the worst function.
+// Rounds and MaxLive take the worst function — max is commutative, so
+// parallel per-function allocation folds to the same module totals as
+// a serial sweep.
 func (s *Stats) Add(o Stats) {
 	s.Spilled += o.Spilled
 	s.SpillLoads += o.SpillLoads
@@ -51,6 +58,9 @@ func (s *Stats) Add(o Stats) {
 	s.Coalesced += o.Coalesced
 	if o.Rounds > s.Rounds {
 		s.Rounds = o.Rounds
+	}
+	if o.MaxLive > s.MaxLive {
+		s.MaxLive = o.MaxLive
 	}
 }
 
@@ -83,6 +93,9 @@ type graph struct {
 	cost  []float64
 	// isParam marks registers that receive arguments at entry.
 	isParam []bool
+	// maxLive is the largest live set seen at a block boundary during
+	// construction (register pressure).
+	maxLive int
 	// remat maps a single-definition register whose value can be
 	// recomputed anywhere (constants and address materializations)
 	// to its defining instruction. Spilling such a register re-issues
@@ -145,6 +158,9 @@ func Func(fn *ir.Func, opts Options, tags ir.TagAlloc) (Stats, error) {
 		}
 		stats.Rounds = round + 1
 		g := build(fn)
+		if g.maxLive > stats.MaxLive {
+			stats.MaxLive = g.maxLive
+		}
 		stats.Coalesced += coalesce(g, k)
 		colors, spills := color(g, fn, k, noSpill)
 		if debugRounds {
@@ -153,6 +169,13 @@ func Func(fn *ir.Func, opts Options, tags ir.TagAlloc) (Stats, error) {
 		if len(spills) == 0 {
 			stats.Coalesced += rewrite(fn, g, colors)
 			fn.Allocated = true
+			if r := obs.Metrics(); r != nil {
+				r.Counter("regalloc.funcs").Inc()
+				r.Counter("regalloc.spilled").Add(int64(stats.Spilled))
+				r.Counter("regalloc.coalesced").Add(int64(stats.Coalesced))
+				r.Gauge("regalloc.max_live").SetMax(int64(stats.MaxLive))
+				r.Histogram("regalloc.rounds", obs.SizeBuckets).Observe(int64(stats.Rounds))
+			}
 			return stats, nil
 		}
 		before := fn.NumRegs
@@ -240,8 +263,9 @@ func build(fn *ir.Func) *graph {
 				live.add(u)
 			}
 		}
-		if debugRounds {
-			if n := live.count(); n > maxLiveSeen {
+		if n := live.count(); n > g.maxLive {
+			g.maxLive = n
+			if debugRounds && n > maxLiveSeen {
 				maxLiveSeen = n
 				fmt.Printf("  maxlive %d at top of %s\n", n, b.Label)
 			}
