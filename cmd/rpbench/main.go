@@ -42,6 +42,24 @@
 //	                         and gate on the two newest reports
 //	-threshold P             gating percentage for -compare and -trend
 //	                         (default 1.0)
+//	rpbench -tier scale      run the incremental-analysis scale tier:
+//	                         generate a ~1000-function module, compile
+//	                         it cold with a fresh analysis cache, then
+//	                         recompile a one-function-edited variant
+//	                         warm against the same cache, and report
+//	                         cold vs warm analysis time, solved vs
+//	                         cached SCC counts, and whether the warm IL
+//	                         is byte-identical to an uncached compile.
+//	                         With -json the scale cell is written as a
+//	                         schema-4 report (gated by -compare like any
+//	                         other report).
+//	-scale-funcs N           scale-tier module size in helper functions
+//	                         (default 1000; CI smoke uses less)
+//	-scale-seed S            scale-tier generation seed (default 1)
+//	-scale-edit I            helper index edited for the warm recompile
+//	                         (default: the middle helper)
+//	-scale-exec              also execute the compiled modules and check
+//	                         warm and uncached runs agree
 package main
 
 import (
@@ -70,10 +88,33 @@ func main() {
 	compare := flag.String("compare", "", "diff reports: old.json,new.json (or one path vs the previous baseline)")
 	trend := flag.Bool("trend", false, "print the BENCH_*.json history and gate on the newest pair")
 	threshold := flag.Float64("threshold", 1.0, "regression gate percentage for -compare / -trend")
+	tier := flag.String("tier", "", "extra bench tier: \"scale\" (incremental-analysis scale run)")
+	scaleFuncs := flag.Int("scale-funcs", 1000, "scale tier: helper-function count")
+	scaleSeed := flag.Int64("scale-seed", 1, "scale tier: generation seed")
+	scaleEdit := flag.Int("scale-edit", -1, "scale tier: edited helper index (-1 = middle)")
+	scaleExec := flag.Bool("scale-exec", false, "scale tier: execute the compiled modules too")
 	flag.Parse()
 
 	if *compare != "" {
 		runCompare(*compare, *threshold)
+		return
+	}
+
+	if *tier != "" {
+		if *tier != "scale" {
+			fmt.Fprintf(os.Stderr, "rpbench: unknown tier %q (only \"scale\")\n", *tier)
+			os.Exit(2)
+		}
+		err := runScaleTier(bench.ScaleOptions{
+			Seed:    *scaleSeed,
+			Funcs:   *scaleFuncs,
+			Edit:    *scaleEdit,
+			Execute: *scaleExec,
+		}, *jsonOut, *out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *trend {
@@ -153,16 +194,32 @@ func runJSON(opts bench.Options, out string) error {
 	if err != nil {
 		return err
 	}
+	path, err := writeReport(r, out)
+	if err != nil {
+		return err
+	}
+	if path != "" {
+		fmt.Printf("wrote %s (%d programs, Figures 5, 6, and 7 plus the Figure 8 extension, schema %s)\n",
+			path, len(r.Programs), r.Schema)
+	}
+	return nil
+}
+
+// writeReport stamps and writes a report to out ("-" = stdout, "" =
+// a fresh BENCH_<timestamp>.json). It returns the path written, or ""
+// for stdout.
+func writeReport(r *bench.Report, out string) (string, error) {
 	now := time.Now().UTC()
 	r.Timestamp = now.Format(time.RFC3339)
 	if out == "-" {
-		return r.WriteJSON(os.Stdout)
+		return "", r.WriteJSON(os.Stdout)
 	}
 	var f *os.File
+	var err error
 	if out != "" {
 		f, err = os.Create(out)
 		if err != nil {
-			return err
+			return "", err
 		}
 	} else {
 		// Default name: BENCH_<timestamp>.json, uniquified with an _N
@@ -182,19 +239,58 @@ func runJSON(opts bench.Options, out string) error {
 				break
 			}
 			if !os.IsExist(err) {
-				return err
+				return "", err
 			}
 		}
 	}
 	if err := r.WriteJSON(f); err != nil {
 		f.Close()
-		return err
+		return "", err
 	}
 	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// runScaleTier implements -tier scale: run the incremental-analysis
+// scale tier and either print the human summary or write the scale
+// cell as a schema-4 report.
+func runScaleTier(o bench.ScaleOptions, jsonOut bool, out string) error {
+	obs.EnableMetrics()
+	sr, err := bench.RunScale(o)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d programs, Figures 5, 6, and 7 plus the Figure 8 extension, schema %s)\n",
-		out, len(r.Programs), r.Schema)
+	if !sr.Identical {
+		// The warm compile diverged from the uncached reference: the
+		// numbers below are meaningless and the cache is unsound.
+		return fmt.Errorf("scale tier: warm IL is NOT identical to the uncached compile (edit %s)", sr.EditedFunc)
+	}
+	if jsonOut {
+		r := &bench.Report{Schema: bench.SchemaVersion, MemLatency: bench.MemLatency, Scale: sr}
+		if reg := obs.Metrics(); reg != nil {
+			r.Metrics = reg.Snapshot()
+		}
+		path, err := writeReport(r, out)
+		if err != nil {
+			return err
+		}
+		if path != "" {
+			fmt.Printf("wrote %s (scale tier: %d functions, schema %s)\n", path, sr.Functions, r.Schema)
+		}
+		return nil
+	}
+	fmt.Printf("scale tier: %d functions, %d lines, %d callgraph SCCs (seed %d, edit %s)\n",
+		sr.Functions, sr.Lines, sr.SCCs, sr.Seed, sr.EditedFunc)
+	fmt.Printf("  cold: analysis %10.3fms  compile %10.3fms  sccs solved %5d  cached %5d\n",
+		float64(sr.Cold.AnalysisNS)/1e6, float64(sr.Cold.CompileNS)/1e6,
+		sr.Cold.SCCsSolved, sr.Cold.SCCsCached)
+	fmt.Printf("  warm: analysis %10.3fms  compile %10.3fms  sccs solved %5d  cached %5d\n",
+		float64(sr.Warm.AnalysisNS)/1e6, float64(sr.Warm.CompileNS)/1e6,
+		sr.Warm.SCCsSolved, sr.Warm.SCCsCached)
+	fmt.Printf("  warm re-analysis speedup: %.1fx; warm IL identical to uncached compile: %v\n",
+		sr.Speedup, sr.Identical)
 	return nil
 }
 

@@ -26,6 +26,12 @@
 //	              the static MOD/REF or points-to sets is a divergence,
 //	              archived like any other
 //	-noreduce     archive failures without shrinking them first
+//	-incremental  run the incremental-compilation oracle instead: per
+//	              seed, compile a one-unit-edited variant cold into a
+//	              fresh analysis cache, recompile the full program warm
+//	              against it (and the reverse direction), and fail
+//	              unless the warm IL is byte-identical to an uncached
+//	              compile — a stale replayed summary is a divergence
 //	-corpus DIR   failure artifact directory (default difftest/corpus)
 //	-progress N   print a progress line every N completed seeds
 //	              (default 100; 0 disables)
@@ -59,6 +65,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent seeds (0 = one per CPU)")
 	short := flag.Bool("short", false, "trim the configuration matrix for smoke runs")
 	noreduce := flag.Bool("noreduce", false, "skip delta-debugging reduction of failures")
+	incremental := flag.Bool("incremental", false, "run the incremental-compilation oracle (warm-vs-scratch IL identity)")
 	corpus := flag.String("corpus", "difftest/corpus", "failure artifact directory")
 	engines := flag.String("engines", "flat", `interpreter engines: "flat" or "both" (flat vs switch cross-check)`)
 	sanitize := flag.Bool("sanitize", false, "run executions under the analysis-soundness sanitizer")
@@ -72,6 +79,9 @@ func main() {
 	if *engines != "flat" && *engines != "both" {
 		fmt.Fprintf(os.Stderr, "rpfuzz: -engines must be \"flat\" or \"both\", not %q\n", *engines)
 		os.Exit(2)
+	}
+	if *incremental {
+		os.Exit(runIncremental(*start, *seeds, *parallel, *short, *corpus, *progressEvery, *verbose))
 	}
 
 	opts := difftest.FuzzOptions{
@@ -123,6 +133,50 @@ func main() {
 			f.Seed, f.Units, f.Dir, indent(f.Divergence))
 	}
 	os.Exit(1)
+}
+
+// runIncremental drives the incremental-compilation oracle
+// (difftest.FuzzIncremental) and returns the process exit status:
+// 0 when every warm compile was byte-identical to scratch, 1 when any
+// seed diverged, 2 on infrastructure errors.
+func runIncremental(start, seeds int64, parallel int, short bool, corpus string, progressEvery int64, verbose bool) int {
+	began := time.Now()
+	var done, diverged atomic.Int64
+	opts := difftest.IncrementalOptions{
+		Start:     start,
+		Seeds:     seeds,
+		Parallel:  parallel,
+		Short:     short,
+		CorpusDir: corpus,
+		Progress: func(seed int64, div bool) {
+			n := done.Add(1)
+			if div {
+				diverged.Add(1)
+				if verbose {
+					fmt.Fprintf(os.Stderr, "rpfuzz: seed %d incremental compile diverges\n", seed)
+				}
+			}
+			if progressEvery > 0 && n%progressEvery == 0 {
+				fmt.Fprintf(os.Stderr, "rpfuzz: incremental %s\n",
+					statusLine(n, seeds, diverged.Load(), 0, time.Since(began)))
+			}
+		},
+	}
+	report, err := difftest.FuzzIncremental(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpfuzz:", err)
+		return 2
+	}
+	fmt.Printf("rpfuzz: incremental oracle, seeds [%d, %d) × %d configs × 2 directions: %s\n",
+		start, start+seeds, len(report.Matrix),
+		statusLine(done.Load(), seeds, diverged.Load(), 0, time.Since(began)))
+	if len(report.Failures) == 0 {
+		return 0
+	}
+	for _, f := range report.Failures {
+		fmt.Printf("\nseed %d — artifacts in %s\n%s", f.Seed, f.Dir, indent(f.Divergence))
+	}
+	return 1
 }
 
 // statusLine renders the shared progress/summary form: seeds done,

@@ -11,11 +11,25 @@
 // in descendants of the function that creates it — a local of f can
 // only be live while f is on the call stack, so only functions f can
 // reach could possibly touch it through a pointer.
+//
+// MOD/REF is bottom-up compositional — a component's summary is a
+// function of its members' bodies, their visible sets, and its callee
+// components' summaries — so Analyze memoizes it per SCC in a
+// content-addressed cache: each component's key chains those three
+// inputs, a hit installs the cached summary without touching the
+// component's bodies, and the per-component direct-effect scan runs
+// only on misses. After a one-function edit, only the components
+// callgraph.DirtySCCs describes miss; everything else replays.
 package modref
 
 import (
+	"time"
+
+	"regpromo/internal/analysis/cache"
 	"regpromo/internal/callgraph"
 	"regpromo/internal/ir"
+	"regpromo/internal/obs"
+	"regpromo/internal/par"
 )
 
 // Result holds the per-function analysis summaries. The tables are
@@ -34,6 +48,11 @@ type Result struct {
 	// global, every heap site tag, and the address-taken locals of
 	// the function's call-graph ancestors (itself included).
 	visible []ir.TagSet
+
+	// SCCsSolved and SCCsCached count callgraph components whose
+	// summary fixpoint this run computed versus replayed from the
+	// analysis cache (always solved/0 without a cache).
+	SCCsSolved, SCCsCached int
 }
 
 // Mod returns the MOD summary of the named (defined) function.
@@ -50,6 +69,17 @@ func (r *Result) Visible(fn string) ir.TagSet { return r.visible[r.cg.ID(fn)] }
 // idempotent and monotone: a second run (e.g. after points-to
 // analysis has shrunk pointer tag sets) only tightens information.
 func Run(m *ir.Module, cg *callgraph.Graph) *Result {
+	return Analyze(m, cg, nil)
+}
+
+// Analyze is Run with SCC-grained memoization: when store is non-nil,
+// each callgraph component's summary is keyed by its member bodies
+// (post visibility-limiting), member visible sets, and the value
+// hashes of its callee components' summaries, and an unchanged key
+// installs the cached summary without re-walking the component. The
+// visibility pre-passes and the final call-site installation always
+// run — they rewrite the module in place and are linear.
+func Analyze(m *ir.Module, cg *callgraph.Graph, store *cache.Store) *Result {
 	n := cg.NumFuncs()
 	r := &Result{
 		cg:      cg,
@@ -62,11 +92,23 @@ func Run(m *ir.Module, cg *callgraph.Graph) *Result {
 	limitPointerOps(m, r)
 	demoteRecursiveLocals(m, cg)
 
-	// Direct (intraprocedural) effects, excluding calls.
-	directMod := make([]ir.TagSet, n)
-	directRef := make([]ir.TagSet, n)
-	for _, fn := range m.FuncsInOrder() {
-		var dm, dr ir.TagSet
+	// The salt folds the tag table in its analysis-time state, so it
+	// is computed after demoteRecursiveLocals flips Strong bits.
+	var salt cache.Key
+	var bodyHash []cache.Key
+	funcs := m.FuncsInOrder()
+	if store != nil {
+		salt = cache.ModuleSalt(m)
+		// Per-function body hashes are independent; hashing is the bulk
+		// of a fully-warm run's cost, so fan it out.
+		bodyHash, _ = par.ParallelMap(n, 0, func(i int) (cache.Key, error) {
+			return cache.FuncBodyHash(funcs[i]), nil
+		})
+	}
+
+	// directEffects scans one function's intraprocedural effects,
+	// excluding calls. It runs per cache miss only.
+	directEffects := func(fn *ir.Func, dm, dr *ir.TagSet) {
 		for _, b := range fn.Blocks {
 			for i := range b.Instrs {
 				in := &b.Instrs[i]
@@ -74,41 +116,75 @@ func Run(m *ir.Module, cg *callgraph.Graph) *Result {
 				case ir.OpSStore:
 					dm.Add(in.Tag)
 				case ir.OpPStore:
-					in.Tags.UnionInto(&dm)
+					in.Tags.UnionInto(dm)
 				case ir.OpSLoad, ir.OpCLoad:
 					dr.Add(in.Tag)
 				case ir.OpPLoad:
-					in.Tags.UnionInto(&dr)
+					in.Tags.UnionInto(dr)
 				}
 			}
 		}
-		id := cg.ID(fn.Name)
-		directMod[id] = dm
-		directRef[id] = dr
 	}
 
 	// SCC summaries, callees first. Within an SCC all functions get
-	// the identical set (§4).
-	for _, comp := range cg.SCCs {
+	// the identical set (§4). compValue chains each component's
+	// summary hash into its callers' keys, so a single hit certifies
+	// the entire callee subtree unchanged.
+	compValue := make([]cache.Key, len(cg.SCCs))
+	metrics := obs.Metrics()
+	for ci, comp := range cg.SCCMemberIDs {
+		var key cache.Key
+		if store != nil {
+			h := cache.NewHasher().Key(salt)
+			for _, id := range comp {
+				h.Key(bodyHash[id]).TagSet(r.visible[id])
+			}
+			for _, j := range cg.SCCSuccs(ci) {
+				h.Key(compValue[j])
+			}
+			key = h.Sum()
+			if e, ok := store.ModRef(key); ok {
+				for _, id := range comp {
+					r.mod[id] = e.Mod
+					r.ref[id] = e.Ref
+				}
+				compValue[ci] = e.Value
+				r.SCCsCached++
+				if metrics != nil {
+					metrics.Counter("analysis.scc.hit").Inc()
+				}
+				continue
+			}
+			if metrics != nil {
+				metrics.Counter("analysis.scc.miss").Inc()
+			}
+		}
+
+		start := time.Now()
 		var cm, cr ir.TagSet
-		for _, name := range comp {
-			directMod[cg.ID(name)].UnionInto(&cm)
-			directRef[cg.ID(name)].UnionInto(&cr)
-			fn := m.Funcs[name]
+		for _, id := range comp {
+			fn := funcs[id]
+			directEffects(fn, &cm, &cr)
 			for _, b := range fn.Blocks {
 				for i := range b.Instrs {
 					in := &b.Instrs[i]
 					if in.Op != ir.OpJsr {
 						continue
 					}
-					r.addCalleeEffects(m, cg, name, in, comp, &cm, &cr)
+					r.addCalleeEffects(m, cg, fn.Name, in, ci, &cm, &cr)
 				}
 			}
 		}
-		for _, name := range comp {
-			id := cg.ID(name)
+		for _, id := range comp {
 			r.mod[id] = cm
 			r.ref[id] = cr
+		}
+		r.SCCsSolved++
+		value := cache.SummaryValue(cm, cr)
+		compValue[ci] = value
+		store.PutModRef(key, cm, cr, value)
+		if metrics != nil {
+			metrics.Histogram("analysis.scc.solve_ns", obs.DurationBucketsNS).Observe(time.Since(start).Nanoseconds())
 		}
 	}
 
@@ -209,19 +285,11 @@ func demoteRecursiveLocals(m *ir.Module, cg *callgraph.Graph) {
 
 // addCalleeEffects accumulates the contribution of one call
 // instruction into its caller's in-progress SCC summary. Members of
-// the same SCC contribute nothing here (their direct effects are
-// already in the union being built).
-func (r *Result) addCalleeEffects(m *ir.Module, cg *callgraph.Graph, caller string, in *ir.Instr, comp []string, cm, cr *ir.TagSet) {
-	inComp := func(name string) bool {
-		for _, c := range comp {
-			if c == name {
-				return true
-			}
-		}
-		return false
-	}
+// the same SCC (component index compIdx) contribute nothing here
+// (their direct effects are already in the union being built).
+func (r *Result) addCalleeEffects(m *ir.Module, cg *callgraph.Graph, caller string, in *ir.Instr, compIdx int, cm, cr *ir.TagSet) {
 	add := func(name string) {
-		if inComp(name) {
+		if id := cg.ID(name); id != callgraph.FuncInvalid && cg.SCCOfID(id) == compIdx {
 			return
 		}
 		if em, er, ok := r.resolved(m, cg, caller, name); ok {

@@ -1,0 +1,402 @@
+package pointsto
+
+import (
+	"regpromo/internal/callgraph"
+	"regpromo/internal/dataflow"
+	"regpromo/internal/ir"
+)
+
+// liveness is the interprocedural pointer-liveness pre-pass: two
+// cheap bit-level fixpoints over the module that tell the solver
+// which instructions can matter to the points-to solution.
+//
+// The forward pass computes pointer-bearing (pb) bits — a register,
+// memory tag, or return value is pb when some chain of assignments,
+// loads, stores, calls, and returns can carry an address (or function
+// address) into it. The backward pass computes live (lv) bits — a
+// value is live when it can reach a consumer the narrowing reads: the
+// address operand of a pointer-based memory op or of an indirect
+// call, or any flow into such a chain.
+//
+// An instruction is relevant when a pointer fact can both enter it
+// (pb on its sources) and be observed beyond it (lv on its sinks).
+// The solver skips irrelevant instructions entirely, so dead-pointer
+// facts collapse to ⊥: integer-only code — the bulk of large modules
+// — contributes nothing to the fixpoint, and the set of relevant
+// instructions doubles as the module's cacheable projection
+// (internal/analysis/cache). Exactness: every fact narrow() observes
+// flows through live chains whose producers are all relevant, so
+// filtered and unfiltered runs install byte-identical IL (the
+// TestFilteredSolveMatchesUnfiltered property).
+type liveness struct {
+	pbRegs [][]bool
+	pbTags []bool
+	pbRets []bool
+	lvRegs [][]bool
+	lvTags []bool
+	lvRets []bool
+}
+
+// computeLiveness runs both pre-fixpoints. Each is a monotone
+// boolean lattice solved with the shared dataflow worklist kernel in
+// module function order; bits only turn on, so both passes terminate
+// after at most one function re-sweep per flipped input bit.
+func computeLiveness(m *ir.Module, cg *callgraph.Graph) *liveness {
+	nf := cg.NumFuncs()
+	nt := m.Tags.Len()
+	li := &liveness{
+		pbRegs: make([][]bool, nf),
+		pbTags: make([]bool, nt),
+		pbRets: make([]bool, nf),
+		lvRegs: make([][]bool, nf),
+		lvTags: make([]bool, nt),
+		lvRets: make([]bool, nf),
+	}
+	funcs := m.FuncsInOrder()
+	for _, fn := range funcs {
+		id := cg.ID(fn.Name)
+		li.pbRegs[id] = make([]bool, fn.NumRegs)
+		li.lvRegs[id] = make([]bool, fn.NumRegs)
+	}
+
+	// Dependency lists for precise re-queueing: callers (for
+	// return/param bits) and per-tag scalar readers/writers; pointer
+	// ops touch tag sets, so functions containing them re-sweep on
+	// any tag flip.
+	callers := make([][]callgraph.FuncID, nf)
+	for id := range funcs {
+		for _, c := range cg.CalleeIDs[id] {
+			callers[c] = append(callers[c], callgraph.FuncID(id))
+		}
+	}
+	tagScalarReaders := make([][]callgraph.FuncID, nt)
+	tagScalarWriters := make([][]callgraph.FuncID, nt)
+	var ptrLoadFuncs, ptrStoreFuncs []callgraph.FuncID
+	for id, fn := range funcs {
+		fid := callgraph.FuncID(id)
+		hasPLoad, hasPStore := false, false
+		for _, b := range fn.Blocks {
+			for i := range b.Instrs {
+				switch b.Instrs[i].Op {
+				case ir.OpSLoad, ir.OpCLoad:
+					tagScalarReaders[b.Instrs[i].Tag] = append(tagScalarReaders[b.Instrs[i].Tag], fid)
+				case ir.OpSStore:
+					tagScalarWriters[b.Instrs[i].Tag] = append(tagScalarWriters[b.Instrs[i].Tag], fid)
+				case ir.OpPLoad:
+					hasPLoad = true
+				case ir.OpPStore:
+					hasPStore = true
+				}
+			}
+		}
+		if hasPLoad {
+			ptrLoadFuncs = append(ptrLoadFuncs, fid)
+		}
+		if hasPStore {
+			ptrStoreFuncs = append(ptrStoreFuncs, fid)
+		}
+	}
+
+	// Seeds: static initializers with relocations plant addresses in
+	// memory before any instruction runs.
+	for _, init := range m.Inits {
+		if len(init.Relocs) > 0 {
+			li.pbTags[init.Tag] = true
+		}
+	}
+
+	rank := make([]int, nf)
+	for i := range rank {
+		rank[i] = i
+	}
+
+	// Forward pass: pointer-bearing bits.
+	li.solve(m, cg, rank, func(fid callgraph.FuncID, fn *ir.Func, push func(callgraph.FuncID)) {
+		pushTag := func(t ir.TagID) {
+			for _, r := range tagScalarReaders[t] {
+				push(r)
+			}
+			for _, r := range ptrLoadFuncs {
+				push(r)
+			}
+		}
+		pb := li.pbRegs[fid]
+		for changed := true; changed; {
+			changed = false
+			set := func(dst ir.Reg, v bool) {
+				if v && !pb[dst] {
+					pb[dst] = true
+					changed = true
+				}
+			}
+			for _, b := range fn.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					switch in.Op {
+					case ir.OpAddrOf:
+						set(in.Dst, true)
+					case ir.OpCopy:
+						set(in.Dst, pb[in.A])
+					case ir.OpAdd, ir.OpSub:
+						set(in.Dst, pb[in.A] || pb[in.B])
+					case ir.OpSLoad, ir.OpCLoad:
+						set(in.Dst, li.pbTags[in.Tag])
+					case ir.OpSStore:
+						if pb[in.A] && !li.pbTags[in.Tag] {
+							li.pbTags[in.Tag] = true
+							changed = true
+							pushTag(in.Tag)
+						}
+					case ir.OpPLoad:
+						set(in.Dst, anyTag(in.Tags, li.pbTags))
+					case ir.OpPStore:
+						if pb[in.B] {
+							forTags(in.Tags, len(li.pbTags), func(t ir.TagID) {
+								if !li.pbTags[t] {
+									li.pbTags[t] = true
+									changed = true
+									pushTag(t)
+								}
+							})
+						}
+					case ir.OpJsr:
+						for _, name := range callTargets(m, in) {
+							cid := cg.ID(name)
+							if cid == callgraph.FuncInvalid {
+								if name == "malloc" && in.HasValue && in.Dst != ir.RegInvalid {
+									set(in.Dst, true)
+								}
+								continue
+							}
+							callee := m.Funcs[name]
+							cpb := li.pbRegs[cid]
+							for ai, arg := range in.Args {
+								if ai >= len(callee.Params) {
+									break
+								}
+								p := callee.Params[ai]
+								if pb[arg] && !cpb[p] {
+									cpb[p] = true
+									push(cid)
+								}
+							}
+							if in.HasValue && in.Dst != ir.RegInvalid {
+								set(in.Dst, li.pbRets[cid])
+							}
+						}
+					case ir.OpRet:
+						if in.HasValue && in.A != ir.RegInvalid && pb[in.A] && !li.pbRets[fid] {
+							li.pbRets[fid] = true
+							for _, c := range callers[fid] {
+								push(c)
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+
+	// isParam marks each function's parameter registers: a live bit
+	// reaching a parameter must re-sweep the callers that feed it.
+	isParam := make([][]bool, nf)
+	for id, fn := range funcs {
+		ps := make([]bool, fn.NumRegs)
+		for _, p := range fn.Params {
+			ps[p] = true
+		}
+		isParam[id] = ps
+	}
+
+	// Backward pass: liveness bits, seeded at the consumers narrow()
+	// reads (pointer-op addresses, indirect-call operands).
+	li.solve(m, cg, rank, func(fid callgraph.FuncID, fn *ir.Func, push func(callgraph.FuncID)) {
+		pushTag := func(t ir.TagID) {
+			for _, w := range tagScalarWriters[t] {
+				push(w)
+			}
+			for _, w := range ptrStoreFuncs {
+				push(w)
+			}
+		}
+		lv := li.lvRegs[fid]
+		for changed := true; changed; {
+			changed = false
+			set := func(r ir.Reg, v bool) {
+				if v && r != ir.RegInvalid && !lv[r] {
+					lv[r] = true
+					changed = true
+					if isParam[fid][r] {
+						for _, c := range callers[fid] {
+							push(c)
+						}
+					}
+				}
+			}
+			setTag := func(t ir.TagID, v bool) {
+				if v && !li.lvTags[t] {
+					li.lvTags[t] = true
+					changed = true
+					pushTag(t)
+				}
+			}
+			for _, b := range fn.Blocks {
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					switch in.Op {
+					case ir.OpCopy:
+						set(in.A, lv[in.Dst])
+					case ir.OpAdd, ir.OpSub:
+						set(in.A, lv[in.Dst])
+						set(in.B, lv[in.Dst])
+					case ir.OpSLoad, ir.OpCLoad:
+						setTag(in.Tag, lv[in.Dst])
+					case ir.OpSStore:
+						set(in.A, li.lvTags[in.Tag])
+					case ir.OpPLoad:
+						set(in.A, true)
+						if lv[in.Dst] {
+							forTags(in.Tags, len(li.lvTags), func(t ir.TagID) { setTag(t, true) })
+						}
+					case ir.OpPStore:
+						set(in.A, true)
+						set(in.B, anyTag(in.Tags, li.lvTags))
+					case ir.OpJsr:
+						if in.Callee == "" {
+							set(in.A, true)
+						}
+						dstLive := in.HasValue && in.Dst != ir.RegInvalid && lv[in.Dst]
+						for _, name := range callTargets(m, in) {
+							cid := cg.ID(name)
+							if cid == callgraph.FuncInvalid {
+								continue
+							}
+							callee := m.Funcs[name]
+							clv := li.lvRegs[cid]
+							for ai, arg := range in.Args {
+								if ai >= len(callee.Params) {
+									break
+								}
+								set(arg, clv[callee.Params[ai]])
+							}
+							if dstLive && !li.lvRets[cid] {
+								li.lvRets[cid] = true
+								push(cid)
+							}
+						}
+					case ir.OpRet:
+						if in.HasValue && in.A != ir.RegInvalid {
+							set(in.A, li.lvRets[fid])
+						}
+					}
+				}
+			}
+		}
+	})
+
+	return li
+}
+
+// solve drives one pass to interprocedural fixpoint on the shared
+// dedup priority worklist: every function is seeded, and process
+// re-queues exactly the functions whose cross-function inputs it
+// changed (via its push callback).
+func (li *liveness) solve(m *ir.Module, cg *callgraph.Graph, rank []int,
+	process func(fid callgraph.FuncID, fn *ir.Func, push func(callgraph.FuncID))) {
+	w := dataflow.NewWorklist(rank)
+	funcs := m.FuncsInOrder()
+	for i := range funcs {
+		w.Push(i)
+	}
+	push := func(fid callgraph.FuncID) { w.Push(int(fid)) }
+	for {
+		id, ok := w.Pop()
+		if !ok {
+			return
+		}
+		process(callgraph.FuncID(id), funcs[id], push)
+	}
+}
+
+// anyTag reports whether any member of the set has its bit on (⊤
+// checks the whole table).
+func anyTag(s ir.TagSet, bits []bool) bool {
+	if s.IsTop() {
+		for _, b := range bits {
+			if b {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	s.ForEach(func(t ir.TagID) {
+		if int(t) < len(bits) && bits[t] {
+			found = true
+		}
+	})
+	return found
+}
+
+// forTags applies f to every member (⊤ walks the whole table).
+func forTags(s ir.TagSet, n int, f func(ir.TagID)) {
+	if s.IsTop() {
+		for t := 0; t < n; t++ {
+			f(ir.TagID(t))
+		}
+		return
+	}
+	s.ForEach(func(t ir.TagID) {
+		if int(t) < n {
+			f(t)
+		}
+	})
+}
+
+// callTargets returns the possible callees of a call instruction:
+// the direct callee, the points-to-refined target list, or every
+// addressed function.
+func callTargets(m *ir.Module, in *ir.Instr) []string {
+	if in.Callee != "" {
+		return []string{in.Callee}
+	}
+	if in.Targets != nil {
+		return in.Targets
+	}
+	return m.AddressedFuncs
+}
+
+// relevant reports whether the solver must process the instruction: a
+// pointer fact can enter it and escape to a live consumer. Pointer
+// memory ops and calls are always relevant — narrow() reads their
+// address operands and calls link the interprocedural flow. A nil
+// receiver (liveness disabled) keeps every instruction the transfer
+// functions understand.
+func (li *liveness) relevant(fid callgraph.FuncID, in *ir.Instr) bool {
+	if li == nil {
+		switch in.Op {
+		case ir.OpAddrOf, ir.OpCopy, ir.OpAdd, ir.OpSub, ir.OpSLoad, ir.OpCLoad,
+			ir.OpSStore, ir.OpPLoad, ir.OpPStore, ir.OpJsr, ir.OpRet:
+			return true
+		}
+		return false
+	}
+	pb, lv := li.pbRegs[fid], li.lvRegs[fid]
+	switch in.Op {
+	case ir.OpAddrOf:
+		return lv[in.Dst]
+	case ir.OpCopy:
+		return pb[in.A] && lv[in.Dst]
+	case ir.OpAdd, ir.OpSub:
+		return (pb[in.A] || pb[in.B]) && lv[in.Dst]
+	case ir.OpSLoad, ir.OpCLoad:
+		return li.pbTags[in.Tag] && lv[in.Dst]
+	case ir.OpSStore:
+		return pb[in.A] && li.lvTags[in.Tag]
+	case ir.OpPLoad, ir.OpPStore, ir.OpJsr:
+		return true
+	case ir.OpRet:
+		return in.HasValue && in.A != ir.RegInvalid && pb[in.A] && li.lvRets[fid]
+	}
+	return false
+}

@@ -14,16 +14,44 @@
 // precision difference is confined to user variables that are
 // reassigned between address-takings — a strictly conservative
 // approximation.
+//
+// Two layers make the analysis demand-driven and incremental. A
+// pointer-liveness pre-pass (liveness.go) restricts the fixpoint to
+// instructions whose facts can reach a consumer the narrowing reads,
+// so integer-only code costs nothing. Independently, Solve hashes the
+// module's pointer projection — every solver-understood instruction,
+// structurally (no literal operands, which no pointer transfer reads)
+// — walking the callgraph SCCs in reverse topological order and
+// chaining callee component keys; when an analysis cache holds the
+// projection's narrowing from an earlier compile, Solve replays it
+// without running the liveness pass or the fixpoint at all. Points-to
+// is not bottom-up compositional (argument facts flow callers→callees
+// and memory nodes are global), so the replay is all-or-nothing at
+// module grain; the projection's indifference to literal operands and
+// non-pointer opcodes is what makes warm hits common — in particular,
+// every constant-only edit replays.
 package pointsto
 
 import (
 	"sort"
 
+	"regpromo/internal/analysis/cache"
 	"regpromo/internal/callgraph"
 	"regpromo/internal/dataflow"
 	"regpromo/internal/ir"
 	"regpromo/internal/obs"
+	"regpromo/internal/par"
 )
+
+// Options tune a points-to run.
+type Options struct {
+	// NoFilter disables the pointer-liveness pre-filter, making the
+	// solver process every instruction its transfer functions
+	// understand (the pre-incremental behaviour). Filtered and
+	// unfiltered runs install byte-identical IL; the flag exists for
+	// that property test and for ablation measurements.
+	NoFilter bool
+}
 
 // Result maps analysis facts back to the program.
 type Result struct {
@@ -36,15 +64,23 @@ type Result struct {
 	mem []node
 	// Steps counts function re-analyses the sparse fixpoint performed —
 	// deterministic for a given module, so it is safe to compare across
-	// runs and report in telemetry.
+	// runs and report in telemetry. A cache replay reports the recorded
+	// count of the run it replays.
 	Steps int
+	// Cached reports that the narrowing was replayed from the analysis
+	// cache; per-register facts are unavailable on this path (only the
+	// IL effects were needed).
+	Cached bool
+	// SCCsSolved and SCCsCached count callgraph components this run
+	// solved versus replayed (all-or-nothing at module grain).
+	SCCsSolved, SCCsCached int
 }
 
 // node is one points-to set: program tags plus possible function
-// targets.
+// targets (by interned id).
 type node struct {
 	tags  ir.TagSet
-	funcs map[string]bool
+	funcs map[callgraph.FuncID]bool
 }
 
 // unionTags grows the node's tag set in place (the node owns its
@@ -57,12 +93,12 @@ func (n *node) addTag(t ir.TagID) bool {
 	return n.tags.Add(t)
 }
 
-func (n *node) unionFuncs(fs map[string]bool) bool {
+func (n *node) unionFuncs(fs map[callgraph.FuncID]bool) bool {
 	changed := false
 	for f := range fs {
 		if !n.funcs[f] {
 			if n.funcs == nil {
-				n.funcs = make(map[string]bool)
+				n.funcs = make(map[callgraph.FuncID]bool)
 			}
 			n.funcs[f] = true
 			changed = true
@@ -71,22 +107,24 @@ func (n *node) unionFuncs(fs map[string]bool) bool {
 	return changed
 }
 
-func (n *node) addFunc(f string) bool {
+func (n *node) addFunc(f callgraph.FuncID) bool {
 	if n.funcs[f] {
 		return false
 	}
 	if n.funcs == nil {
-		n.funcs = make(map[string]bool)
+		n.funcs = make(map[callgraph.FuncID]bool)
 	}
 	n.funcs[f] = true
 	return true
 }
 
 // RegPointsTo returns the tag set register r of function fn may point
-// to.
+// to. Dead pointers — registers the liveness pre-pass proves can
+// never reach a pointer consumer — report the empty set (their facts
+// collapse to ⊥). Unavailable after a cache replay.
 func (r *Result) RegPointsTo(fn string, reg ir.Reg) ir.TagSet {
 	id := r.cg.ID(fn)
-	if id == callgraph.FuncInvalid {
+	if id == callgraph.FuncInvalid || r.regs == nil {
 		return ir.TagSet{}
 	}
 	ns := r.regs[id]
@@ -97,8 +135,13 @@ func (r *Result) RegPointsTo(fn string, reg ir.Reg) ir.TagSet {
 }
 
 // MemPointsTo returns the tag set the value stored in tag may point
-// to.
-func (r *Result) MemPointsTo(tag ir.TagID) ir.TagSet { return r.mem[tag].tags }
+// to. Unavailable after a cache replay.
+func (r *Result) MemPointsTo(tag ir.TagID) ir.TagSet {
+	if r.mem == nil {
+		return ir.TagSet{}
+	}
+	return r.mem[tag].tags
+}
 
 // AddrTakenSet returns the set of tags whose address the program can
 // observe — the universe every pointer may-set is drawn from. After
@@ -118,10 +161,47 @@ func AddrTakenSet(m *ir.Module) ir.TagSet {
 // Run analyzes the module, then narrows the tag sets of pointer-based
 // memory operations and the target sets of indirect calls in place.
 func Run(m *ir.Module, cg *callgraph.Graph) *Result {
+	return Solve(m, cg, nil, Options{})
+}
+
+// Solve is Run with the incremental machinery exposed: when store is
+// non-nil, the module's pointer projection is hashed (walking the
+// callgraph SCCs in reverse topological order and chaining callee
+// component keys) and a hit replays the cached narrowing verbatim —
+// skipping the liveness pre-pass and the fixpoint entirely; a miss
+// solves, then records the narrowing under the projection key.
+// Replayed IL is byte-identical to a from-scratch solve by
+// construction: the key covers every input the liveness pass, the
+// solver, and narrow() read.
+func Solve(m *ir.Module, cg *callgraph.Graph, store *cache.Store, opts Options) *Result {
+	var key cache.Key
+	if store != nil {
+		key = projectionKey(m, cg, opts.NoFilter)
+		if e, ok := store.PointsTo(key); ok {
+			res := &Result{cg: cg, mod: m, Steps: e.Steps, Cached: true, SCCsCached: len(cg.SCCs)}
+			replay(m, e)
+			if r := obs.Metrics(); r != nil {
+				r.Counter("pointsto.cache.hit").Inc()
+				r.Counter("analysis.scc.hit").Add(int64(len(cg.SCCs)))
+			}
+			return res
+		}
+		if r := obs.Metrics(); r != nil {
+			r.Counter("pointsto.cache.miss").Inc()
+			r.Counter("analysis.scc.miss").Add(int64(len(cg.SCCs)))
+		}
+	}
+
+	var li *liveness
+	if !opts.NoFilter {
+		li = computeLiveness(m, cg)
+	}
+
 	nf := cg.NumFuncs()
 	a := &analyzer{
 		mod: m,
 		cg:  cg,
+		li:  li,
 		res: &Result{
 			cg:   cg,
 			regs: make([][]node, nf),
@@ -134,6 +214,7 @@ func Run(m *ir.Module, cg *callgraph.Graph) *Result {
 		retReaders: make([][]callgraph.FuncID, nf),
 		retIsRdr:   make([][]bool, nf),
 	}
+	a.res.SCCsSolved = len(cg.SCCs)
 	for _, fn := range m.FuncsInOrder() {
 		a.res.regs[cg.ID(fn.Name)] = make([]node, fn.NumRegs)
 	}
@@ -175,13 +256,68 @@ func Run(m *ir.Module, cg *callgraph.Graph) *Result {
 		r.Counter("pointsto.pushes").Add(int64(a.w.Pushes()))
 	}
 
-	a.narrow()
+	rec := a.narrow()
+	if store != nil {
+		store.PutPointsTo(key, &cache.PointsToEntry{Funcs: rec, Steps: a.res.Steps})
+	}
 	return a.res
+}
+
+// projectionKey hashes everything a (possibly filtered) solve reads:
+// the module salt (tag table, initializers, addressed functions) and,
+// per callgraph SCC in reverse topological order, each member's
+// projection hash — its solver-understood instructions, structurally,
+// with positions — chained with the keys of every callee component.
+// The per-function hashes are independent, so they are computed in
+// parallel before the (cheap, ordered) condensation walk. The key
+// needs no liveness information: equal projections imply equal
+// liveness and hence an equal filtered solution, which is what lets a
+// hit skip the liveness pass too.
+func projectionKey(m *ir.Module, cg *callgraph.Graph, noFilter bool) cache.Key {
+	salt := cache.ModuleSalt(m)
+	funcs := m.FuncsInOrder()
+	fnKeys, _ := par.ParallelMap(len(funcs), 0, func(i int) (cache.Key, error) {
+		return cache.FuncProjectionHash(funcs[i]), nil
+	})
+	sccKeys := make([]cache.Key, len(cg.SCCs))
+	for i, comp := range cg.SCCMemberIDs {
+		h := cache.NewHasher().Key(salt)
+		for _, fid := range comp {
+			h.Key(fnKeys[fid])
+		}
+		for _, j := range cg.SCCSuccs(i) {
+			h.Key(sccKeys[j])
+		}
+		sccKeys[i] = h.Sum()
+	}
+	top := cache.NewHasher().Key(salt).Bool(!noFilter)
+	top.Int(int64(len(sccKeys)))
+	for _, k := range sccKeys {
+		top.Key(k)
+	}
+	return top.Sum()
+}
+
+// replay installs a cached narrowing: the recorded pointer-op tag
+// sets and indirect-call target lists, positionally.
+func replay(m *ir.Module, e *cache.PointsToEntry) {
+	for _, fe := range e.Funcs {
+		fn := m.Funcs[fe.Name]
+		for _, op := range fe.Ops {
+			in := &fn.Blocks[op.Block].Instrs[op.Index]
+			if op.Targets != nil {
+				in.Targets = append([]string(nil), op.Targets...)
+			} else {
+				in.Tags = op.Tags.Clone()
+			}
+		}
+	}
 }
 
 type analyzer struct {
 	mod *ir.Module
 	cg  *callgraph.Graph
+	li  *liveness
 	res *Result
 	// rets holds one node per function for its returned value.
 	rets []node
@@ -252,10 +388,16 @@ func (a *analyzer) function(fid callgraph.FuncID, fn *ir.Func) {
 	for _, b := range fn.Blocks {
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
+			if !a.li.relevant(fid, in) {
+				// The liveness pre-filter proved no fact of this
+				// instruction can reach a consumer the narrowing
+				// reads; skipping it cannot change any observed set.
+				continue
+			}
 			switch in.Op {
 			case ir.OpAddrOf:
 				if in.Callee != "" {
-					a.markSelf(fid, regs[in.Dst].addFunc(in.Callee))
+					a.markSelf(fid, regs[in.Dst].addFunc(a.cg.ID(in.Callee)))
 				} else {
 					a.markSelf(fid, regs[in.Dst].addTag(in.Tag))
 				}
@@ -340,10 +482,7 @@ func (a *analyzer) call(fid callgraph.FuncID, fn *ir.Func, in *ir.Instr, regs []
 		// is populated, every addressed function.
 		fp := regs[in.A].funcs
 		if len(fp) > 0 {
-			for f := range fp {
-				callees = append(callees, f)
-			}
-			sort.Strings(callees)
+			callees = a.sortedNames(fp)
 		} else {
 			callees = a.mod.AddressedFuncs
 		}
@@ -377,6 +516,18 @@ func (a *analyzer) call(fid callgraph.FuncID, fn *ir.Func, in *ir.Instr, regs []
 	}
 }
 
+// sortedNames resolves a function-id set to sorted names. Ids intern
+// module function order, not lexicographic order, so the names are
+// sorted explicitly to keep every downstream iteration deterministic.
+func (a *analyzer) sortedNames(fp map[callgraph.FuncID]bool) []string {
+	names := make([]string, 0, len(fp))
+	for f := range fp {
+		names = append(names, a.cg.Name(f))
+	}
+	sort.Strings(names)
+	return names
+}
+
 func (a *analyzer) intrinsic(fid callgraph.FuncID, name string, in *ir.Instr, regs []node) {
 	if name == "malloc" && in.Site != ir.TagInvalid && in.Dst != ir.RegInvalid {
 		a.markSelf(fid, regs[in.Dst].addTag(in.Site))
@@ -386,11 +537,14 @@ func (a *analyzer) intrinsic(fid callgraph.FuncID, name string, in *ir.Instr, re
 // narrow installs the computed sets: pointer-op tag lists shrink to
 // the address's points-to set (intersected with the existing
 // visibility-limited set), and indirect calls learn their possible
-// targets.
-func (a *analyzer) narrow() {
+// targets. The rewrites are also recorded positionally so an
+// analysis cache can replay them on an unchanged projection.
+func (a *analyzer) narrow() []cache.FuncNarrowing {
+	var rec []cache.FuncNarrowing
 	for _, fn := range a.mod.FuncsInOrder() {
+		fnRec := cache.FuncNarrowing{Name: fn.Name}
 		regs := a.res.regs[a.cg.ID(fn.Name)]
-		for _, b := range fn.Blocks {
+		for bi, b := range fn.Blocks {
 			for i := range b.Instrs {
 				in := &b.Instrs[i]
 				switch in.Op {
@@ -404,17 +558,19 @@ func (a *analyzer) narrow() {
 					} else {
 						in.Tags = in.Tags.Intersect(pts)
 					}
+					fnRec.Ops = append(fnRec.Ops, cache.NarrowOp{Block: bi, Index: i, Tags: in.Tags.Clone()})
 				case ir.OpJsr:
 					if in.Callee == "" && len(regs[in.A].funcs) > 0 {
-						var ts []string
-						for f := range regs[in.A].funcs {
-							ts = append(ts, f)
-						}
-						sort.Strings(ts)
+						ts := a.sortedNames(regs[in.A].funcs)
 						in.Targets = ts
+						fnRec.Ops = append(fnRec.Ops, cache.NarrowOp{Block: bi, Index: i, Targets: append([]string(nil), ts...)})
 					}
 				}
 			}
 		}
+		if len(fnRec.Ops) > 0 {
+			rec = append(rec, fnRec)
+		}
 	}
+	return rec
 }

@@ -19,8 +19,10 @@ import (
 // per-stage compile wall-time breakdown (ConfigReport.StageNS: wall
 // time by frontend / interprocedural analysis / per-function passes);
 // regpromo-bench/3 added the process-wide metrics snapshot
-// (Report.Metrics) captured after the measurement matrix ran.
-const SchemaVersion = "regpromo-bench/3"
+// (Report.Metrics) captured after the measurement matrix ran;
+// regpromo-bench/4 added the scale-tier cell (Report.Scale: cold vs
+// warm incremental-analysis cost on a ~1000-function module).
+const SchemaVersion = "regpromo-bench/4"
 
 // BaselineGlob matches versioned benchmark reports in the repo root.
 const BaselineGlob = "BENCH_*.json"
@@ -40,6 +42,9 @@ type Report struct {
 	// Metrics is the process-wide metrics snapshot taken right after
 	// the matrix ran, when metrics were enabled for the run (schema 3+).
 	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
+	// Scale is the scale-tier cell, present when the run included
+	// `-tier scale` (schema 4+).
+	Scale *ScaleReport `json:"scale,omitempty"`
 }
 
 // ProgramReport is one suite member's results across configurations.
@@ -241,6 +246,11 @@ func (r *Report) StripTimings() {
 				e.DurationNS = 0
 			}
 		}
+	}
+	if r.Scale != nil {
+		r.Scale.Cold.AnalysisNS, r.Scale.Cold.CompileNS = 0, 0
+		r.Scale.Warm.AnalysisNS, r.Scale.Warm.CompileNS = 0, 0
+		r.Scale.Speedup = 0
 	}
 }
 

@@ -129,6 +129,24 @@ func Compare(old, cur *Report, threshold float64) *CompareReport {
 			}
 		}
 	}
+	// Scale-tier cell: the deterministic work counts gate (an
+	// incremental-analysis regression shows up as warm sccs_solved
+	// growing or sccs_cached shrinking); wall-clock times and the
+	// derived speedup stay informational. Identical is gated with a
+	// zero-tolerance reading: any flip from 1 to 0 is a 100% move.
+	if old.Scale != nil && cur.Scale != nil &&
+		old.Scale.Seed == cur.Scale.Seed && old.Scale.Functions == cur.Scale.Functions {
+		os, cs := old.Scale, cur.Scale
+		cr.Deltas = append(cr.Deltas,
+			delta("scale", "", "sccs", int64(os.SCCs), int64(cs.SCCs), false, false),
+			delta("scale", "", "cold/sccs_solved", int64(os.Cold.SCCsSolved), int64(cs.Cold.SCCsSolved), false, true),
+			delta("scale", "", "warm/sccs_solved", int64(os.Warm.SCCsSolved), int64(cs.Warm.SCCsSolved), false, true),
+			delta("scale", "", "warm/sccs_cached", int64(os.Warm.SCCsCached), int64(cs.Warm.SCCsCached), true, true),
+			delta("scale", "", "identical", boolInt(os.Identical), boolInt(cs.Identical), true, true),
+			delta("scale", "", "cold/analysis_ns", os.Cold.AnalysisNS, cs.Cold.AnalysisNS, false, false),
+			delta("scale", "", "warm/analysis_ns", os.Warm.AnalysisNS, cs.Warm.AnalysisNS, false, false),
+		)
+	}
 	// Process-wide metrics: counters only, informational — they fold
 	// in everything the process did, not just the matrix.
 	if old.Metrics != nil && cur.Metrics != nil {
@@ -140,6 +158,13 @@ func Compare(old, cur *Report, threshold float64) *CompareReport {
 		}
 	}
 	return cr
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // sortedStageNames merges the stage keys of both cells, sorted.

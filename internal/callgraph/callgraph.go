@@ -45,6 +45,22 @@ type Graph struct {
 	// names is the inverse table.
 	ids   map[string]FuncID
 	names []string
+
+	// CalleeIDs mirrors Callees with interned ids: CalleeIDs[f] lists
+	// the ids of the functions f may call, in Callees order. Analyses
+	// iterate these instead of resolving names on hot paths.
+	CalleeIDs [][]FuncID
+
+	// SCCMemberIDs mirrors SCCs with interned ids, one slice per
+	// component in the same (reverse topological) order.
+	SCCMemberIDs [][]FuncID
+
+	// sccOfID maps a FuncID to its SCC index (dense mirror of sccOf).
+	sccOfID []int
+
+	// sccSuccs lists, per SCC, the distinct callee components in
+	// first-reference order — the condensation's edge list.
+	sccSuccs [][]int
 }
 
 // ID returns the dense id interning name, or FuncInvalid when name is
@@ -115,11 +131,110 @@ func Build(mod *ir.Module) *Graph {
 		g.Callees[fn.Name] = callees
 	}
 	g.computeSCCs()
+	g.buildDense()
 	return g
 }
 
+// buildDense fills the id-indexed mirrors of the name-keyed tables
+// once the SCCs are known.
+func (g *Graph) buildDense() {
+	n := len(g.names)
+	g.CalleeIDs = make([][]FuncID, n)
+	g.sccOfID = make([]int, n)
+	for id, name := range g.names {
+		g.sccOfID[id] = g.sccOf[name]
+		callees := g.Callees[name]
+		ids := make([]FuncID, len(callees))
+		for i, c := range callees {
+			ids[i] = g.ids[c]
+		}
+		g.CalleeIDs[id] = ids
+	}
+	g.SCCMemberIDs = make([][]FuncID, len(g.SCCs))
+	g.sccSuccs = make([][]int, len(g.SCCs))
+	for i, comp := range g.SCCs {
+		members := make([]FuncID, len(comp))
+		for j, name := range comp {
+			members[j] = g.ids[name]
+		}
+		g.SCCMemberIDs[i] = members
+		seen := map[int]bool{i: true}
+		for _, m := range members {
+			for _, c := range g.CalleeIDs[m] {
+				if j := g.sccOfID[c]; !seen[j] {
+					seen[j] = true
+					g.sccSuccs[i] = append(g.sccSuccs[i], j)
+				}
+			}
+		}
+	}
+}
+
+// SCCSuccs returns the condensation successors of component i: the
+// distinct components its members call into, in first-reference
+// order. Successor indices are always smaller than i (reverse
+// topological numbering). The returned slice is owned by the graph.
+func (g *Graph) SCCSuccs(i int) []int { return g.sccSuccs[i] }
+
 // SCCOf returns the index (into SCCs) of fn's component.
 func (g *Graph) SCCOf(fn string) int { return g.sccOf[fn] }
+
+// SCCOfID returns the index (into SCCs) of id's component.
+func (g *Graph) SCCOfID(id FuncID) int { return g.sccOfID[id] }
+
+// DirtySCCs returns, in reverse topological order (the SCCs slice
+// order), the indices of every component whose analysis facts may
+// change when the bodies of the named functions change. That is the
+// changed functions' own components plus both closure directions over
+// the condensation: every component that can call into a changed one
+// (MOD/REF summaries flow callees→callers, so all ancestors up to the
+// root are dirty) and every component a changed one can call into
+// (visibility sets flow callers→callees, so an edit that adds or
+// removes a call edge can widen or shrink a descendant's visible
+// tags). Components unreachable from and by the changed set — the
+// bulk of a large module — are clean and their cached summaries can
+// be reused as-is. Unknown names are ignored.
+func (g *Graph) DirtySCCs(changed []string) []int {
+	n := len(g.SCCs)
+	up := make([]bool, n)   // can reach a changed component
+	down := make([]bool, n) // reachable from a changed component
+	for _, name := range changed {
+		if idx, ok := g.sccOf[name]; ok {
+			up[idx] = true
+			down[idx] = true
+		}
+	}
+	// Tarjan emits callees first, so every successor (callee) of
+	// component i has a smaller index. Ascending order settles "can
+	// reach changed" (via callees); descending order settles
+	// "reachable from changed".
+	for i := 0; i < n; i++ {
+		if up[i] {
+			continue
+		}
+		for _, j := range g.sccSuccs[i] {
+			if up[j] {
+				up[i] = true
+				break
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !down[i] {
+			continue
+		}
+		for _, j := range g.sccSuccs[i] {
+			down[j] = true
+		}
+	}
+	var dirty []int
+	for i := 0; i < n; i++ {
+		if up[i] || down[i] {
+			dirty = append(dirty, i)
+		}
+	}
+	return dirty
+}
 
 // InCycle reports whether fn can (transitively) call itself: its SCC
 // has more than one member, or it calls itself directly.

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"regpromo/internal/analysis/cache"
 	"regpromo/internal/analysis/modref"
 	"regpromo/internal/analysis/pointsto"
 	"regpromo/internal/callgraph"
@@ -154,13 +155,32 @@ type Config struct {
 	// run over the pipeline's own output; violations surface as a
 	// *CheckError from Compile.
 	Check CheckLevel
+
+	// AnalysisCache, when non-nil, memoizes interprocedural analysis
+	// across compilations: MOD/REF summaries per callgraph SCC and the
+	// points-to narrowing per live-pointer projection. Share one store
+	// across Frontends compiling successive versions of a module and a
+	// one-function edit re-solves only the dirty components. Nil (the
+	// default) analyzes from scratch every time.
+	AnalysisCache *cache.Store
+}
+
+// AnalysisStats summarizes the incremental-analysis work a pipeline
+// performed, summed over its analysis passes (MOD/REF runs once or —
+// under PointsTo — twice, plus the points-to solve, which counts the
+// whole module's components as cached when its projection hit).
+type AnalysisStats struct {
+	// SCCsSolved counts component fixpoints actually computed;
+	// SCCsCached counts components replayed from Config.AnalysisCache.
+	SCCsSolved, SCCsCached int
 }
 
 // Compilation is a compiled program plus pass statistics.
 type Compilation struct {
-	Module  *ir.Module
-	Promote promote.Stats
-	Alloc   regalloc.Stats
+	Module   *ir.Module
+	Promote  promote.Stats
+	Alloc    regalloc.Stats
+	Analysis AnalysisStats
 
 	// progs caches the module's flat-code lowering ([0] without
 	// profiling markers, [1] with) so repeated executions of one
@@ -207,6 +227,7 @@ type pipeState struct {
 const (
 	PassModRef     = "modref"
 	PassPointsTo   = "pointsto"
+	PassRefine     = "refine"
 	PassConstProp  = "constprop"
 	PassValnum     = "valnum"
 	PassLICM       = "licm"
@@ -227,31 +248,58 @@ func (cfg Config) passes() []pass {
 	ps = append(ps, pass{name: PassModRef, run: func(s *pipeState) (map[string]int64, error) {
 		s.cg = callgraph.Build(s.c.Module)
 		sp := s.pipe.StartSpan("modref.fixpoint", "analysis", 0)
-		modref.Run(s.c.Module, s.cg)
-		sp.Arg("funcs", int64(s.cg.NumFuncs())).End()
+		res := modref.Analyze(s.c.Module, s.cg, cfg.AnalysisCache)
+		s.c.Analysis.SCCsSolved += res.SCCsSolved
+		s.c.Analysis.SCCsCached += res.SCCsCached
+		sp.Arg("funcs", int64(s.cg.NumFuncs())).
+			Arg("sccs_solved", int64(res.SCCsSolved)).
+			Arg("sccs_cached", int64(res.SCCsCached)).End()
 		return map[string]int64{
-			"funcs": int64(s.cg.NumFuncs()),
-			"tags":  int64(s.c.Module.Tags.Len()),
+			"funcs":       int64(s.cg.NumFuncs()),
+			"tags":        int64(s.c.Module.Tags.Len()),
+			"sccs_solved": int64(res.SCCsSolved),
+			"sccs_cached": int64(res.SCCsCached),
 		}, nil
 	}})
 	if cfg.Analysis == PointsTo {
 		ps = append(ps, pass{name: PassPointsTo, run: func(s *pipeState) (map[string]int64, error) {
 			m := s.c.Module
 			sp := s.pipe.StartSpan("pointsto.fixpoint", "analysis", 0)
-			res := pointsto.Run(m, s.cg)
-			sp.Arg("steps", int64(res.Steps)).End()
-			modref.RefineMemOps(m)
+			res := pointsto.Solve(m, s.cg, cfg.AnalysisCache, pointsto.Options{})
+			s.c.Analysis.SCCsSolved += res.SCCsSolved
+			s.c.Analysis.SCCsCached += res.SCCsCached
+			sp.Arg("steps", int64(res.Steps)).
+				Arg("sccs_cached", int64(res.SCCsCached)).End()
+			return map[string]int64{
+				"steps":       int64(res.Steps),
+				"tags":        int64(m.Tags.Len()),
+				"sccs_solved": int64(res.SCCsSolved),
+				"sccs_cached": int64(res.SCCsCached),
+			}, nil
+		}})
+		ps = append(ps, pass{name: PassRefine, run: func(s *pipeState) (map[string]int64, error) {
+			m := s.c.Module
+			changed := modref.RefineMemOps(m)
 			// Indirect-call targets may have been pinned; rebuild
 			// the call graph so the repeated MOD/REF run sees the
 			// refined edges (§4: "MOD/REF analysis is then
 			// repeated").
 			s.cg = callgraph.Build(m)
-			sp = s.pipe.StartSpan("modref.fixpoint", "analysis", 0)
-			modref.Run(m, s.cg)
-			sp.Arg("funcs", int64(s.cg.NumFuncs())).End()
+			return map[string]int64{"changed": int64(changed)}, nil
+		}})
+		ps = append(ps, pass{name: PassModRef, run: func(s *pipeState) (map[string]int64, error) {
+			sp := s.pipe.StartSpan("modref.fixpoint", "analysis", 0)
+			res := modref.Analyze(s.c.Module, s.cg, cfg.AnalysisCache)
+			s.c.Analysis.SCCsSolved += res.SCCsSolved
+			s.c.Analysis.SCCsCached += res.SCCsCached
+			sp.Arg("funcs", int64(s.cg.NumFuncs())).
+				Arg("sccs_solved", int64(res.SCCsSolved)).
+				Arg("sccs_cached", int64(res.SCCsCached)).End()
 			return map[string]int64{
-				"steps": int64(res.Steps),
-				"tags":  int64(m.Tags.Len()),
+				"funcs":       int64(s.cg.NumFuncs()),
+				"tags":        int64(s.c.Module.Tags.Len()),
+				"sccs_solved": int64(res.SCCsSolved),
+				"sccs_cached": int64(res.SCCsCached),
 			}, nil
 		}})
 	}
@@ -392,7 +440,8 @@ const PassFrontend = "frontend"
 // "frontend" (parse+sema+irgen, including the "frontend.reuse" clone
 // stage of a forked pipeline), "analysis" (the interprocedural
 // barriers — MOD/REF and points-to), and "passes" (the per-function
-// middle end, including verification).
+// middle end, including the memory-op refinement rewrite and
+// verification).
 func PassStage(name string) string {
 	switch {
 	case strings.HasPrefix(name, PassFrontend):

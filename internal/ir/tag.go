@@ -330,6 +330,14 @@ func (s TagSet) IDs() []TagID {
 	return out
 }
 
+// Words exposes the trimmed backing bit vector (bit id%64 of word
+// id/64 is set for each member id); callers must not mutate it. The
+// no-trailing-zero-words invariant makes the slice a canonical value
+// representation — equal sets always expose equal words — so hashing
+// it hashes the set. Empty and ⊤ both expose nil; distinguish ⊤ with
+// IsTop.
+func (s TagSet) Words() []uint64 { return s.words }
+
 // ForEach calls f for every member in ascending order, without
 // allocating. It does nothing for ⊤ (its membership is not
 // enumerable).

@@ -1,0 +1,100 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+
+	"regpromo/internal/cc/irgen"
+	"regpromo/internal/cc/parser"
+	"regpromo/internal/cc/sema"
+	"regpromo/internal/interp"
+	"regpromo/internal/ir"
+)
+
+func scaleModule(t *testing.T, o ScaleOptions) *ir.Module {
+	t.Helper()
+	src := Scale(o)
+	f, err := parser.Parse("scale.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	m, err := irgen.Generate(p)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	return m
+}
+
+func TestScaleDeterministic(t *testing.T) {
+	o := ScaleOptions{Seed: 7, Funcs: 40, Edit: -1}
+	if Scale(o) != Scale(o) {
+		t.Fatal("same options must give the same program")
+	}
+	if Scale(o) == Scale(ScaleOptions{Seed: 8, Funcs: 40, Edit: -1}) {
+		t.Fatal("different seeds should give different programs")
+	}
+}
+
+// TestScaleEditOneLine: the edit knob changes exactly one line — the
+// edited helper's constant — leaving declarations, every other
+// function, and main untouched.
+func TestScaleEditOneLine(t *testing.T) {
+	base := Scale(ScaleOptions{Seed: 3, Funcs: 40, Edit: -1})
+	for _, edit := range []int{0, 7, 39} {
+		edited := Scale(ScaleOptions{Seed: 3, Funcs: 40, Edit: edit})
+		bl := strings.Split(base, "\n")
+		el := strings.Split(edited, "\n")
+		if len(bl) != len(el) {
+			t.Fatalf("edit %d: line count changed %d -> %d", edit, len(bl), len(el))
+		}
+		diff := 0
+		for i := range bl {
+			if bl[i] != el[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("edit %d: want exactly 1 changed line, got %d", edit, diff)
+		}
+	}
+}
+
+// TestScaleRuns: a reduced-size scale module parses, generates IL, and
+// executes to a checksum within bounded steps (the fuel counter keeps
+// the deep static call DAG cheap dynamically).
+func TestScaleRuns(t *testing.T) {
+	m := scaleModule(t, ScaleOptions{Seed: 11, Funcs: 60, Edit: -1})
+	res, err := interp.Run(m, interp.Options{MaxSteps: 50_000_000})
+	if err != nil {
+		t.Fatalf("run: %v\n", err)
+	}
+	if res.Output == "" {
+		t.Fatal("scale program printed no checksum")
+	}
+	// The edited variant must still run (semantics differ, structure
+	// does not).
+	m2 := scaleModule(t, ScaleOptions{Seed: 11, Funcs: 60, Edit: 12})
+	if _, err := interp.Run(m2, interp.Options{MaxSteps: 50_000_000}); err != nil {
+		t.Fatalf("edited run: %v", err)
+	}
+}
+
+// TestScaleShape: the full-size profile hits its advertised scale —
+// ~1000 functions and on the order of 100k source lines.
+func TestScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation in -short mode")
+	}
+	src := Scale(ScaleOptions{Seed: 1, Edit: -1})
+	lines := strings.Count(src, "\n")
+	if lines < 60_000 {
+		t.Fatalf("scale profile too small: %d lines", lines)
+	}
+	if got := strings.Count(src, "\nint f"); got < 1000 {
+		t.Fatalf("scale profile has %d helpers, want >= 1000", got)
+	}
+}
