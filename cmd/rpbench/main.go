@@ -18,9 +18,17 @@
 //	                         adds over scalar promotion (§3.3 study)
 //	rpbench -programs a,b,c  restrict to named programs
 //	-k N                     physical register count (default 32)
-//	-engine flat|switch      interpreter engine (default flat; counts
-//	                         are engine-independent, only wall time
-//	                         changes)
+//	-engine E                execution engine(s): flat, switch, native,
+//	                         both, all, or a comma list (default flat;
+//	                         counts are engine-independent, only wall
+//	                         time changes). With -json, each engine gets
+//	                         its own timed execution cell per config in
+//	                         one report, and a native-over-flat speedup
+//	                         summary prints when both are listed; table
+//	                         output uses the first engine
+//	-native-backend B        native artifact execution: auto (probe
+//	                         plugin, fall back to subprocess), plugin,
+//	                         or subprocess
 //	-markdown                emit Markdown tables (for EXPERIMENTS.md)
 //	rpbench -json            run the observed matrix and write the full
 //	                         machine-readable report — dynamic counts
@@ -70,7 +78,8 @@ import (
 	"time"
 
 	"regpromo/internal/bench"
-	"regpromo/internal/interp"
+	"regpromo/internal/driver"
+	"regpromo/internal/native"
 	"regpromo/internal/obs"
 )
 
@@ -84,7 +93,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write the observed benchmark report as BENCH_<timestamp>.json")
 	out := flag.String("out", "", "output path for -json (default BENCH_<timestamp>.json, \"-\" = stdout)")
 	parallel := flag.Int("parallel", 1, "programs measured concurrently (0 = one per CPU, 1 = serial)")
-	engineName := flag.String("engine", "flat", "interpreter engine: flat or switch")
+	engineName := flag.String("engine", "flat", "execution engine(s): flat, switch, native, both, all, or a comma list")
+	nativeBackend := flag.String("native-backend", "", `native artifact execution: "auto", "plugin", or "subprocess"`)
 	compare := flag.String("compare", "", "diff reports: old.json,new.json (or one path vs the previous baseline)")
 	trend := flag.Bool("trend", false, "print the BENCH_*.json history and gate on the newest pair")
 	threshold := flag.Float64("threshold", 1.0, "regression gate percentage for -compare / -trend")
@@ -127,13 +137,21 @@ func main() {
 		return
 	}
 
-	engine, err := interp.ParseEngine(*engineName)
+	engines, err := driver.ParseEngines(*engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpbench:", err)
 		os.Exit(2)
 	}
+	if *nativeBackend != "" {
+		b, err := native.ParseBackend(*nativeBackend)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpbench:", err)
+			os.Exit(2)
+		}
+		native.SetDefaultBackend(b)
+	}
 
-	opts := bench.Options{K: *k, Parallel: *parallel, Engine: engine}
+	opts := bench.Options{K: *k, Parallel: *parallel, Engine: engines[0], Engines: engines}
 	if *parallel == 0 {
 		opts.Parallel = bench.DefaultWorkers()
 	}
@@ -202,7 +220,53 @@ func runJSON(opts bench.Options, out string) error {
 		fmt.Printf("wrote %s (%d programs, Figures 5, 6, and 7 plus the Figure 8 extension, schema %s)\n",
 			path, len(r.Programs), r.Schema)
 	}
+	printNativeSpeedup(r)
 	return nil
+}
+
+// printNativeSpeedup summarizes native-over-flat throughput per
+// program when a multi-engine run measured both. Counts are identical
+// across engines by the parity contract, so the dynamic-ops/sec ratio
+// is the wall-time ratio; ops and durations are summed over the
+// program's four configuration cells.
+func printNativeSpeedup(r *bench.Report) {
+	type agg struct{ ops, flatNS, nativeNS int64 }
+	var rows []struct {
+		name string
+		agg
+	}
+	for i := range r.Programs {
+		p := &r.Programs[i]
+		var a agg
+		for j := range p.Configs {
+			c := &p.Configs[j]
+			fe, okF := c.ExecFor("flat")
+			ne, okN := c.ExecFor("native")
+			if !okF || !okN {
+				a = agg{}
+				break
+			}
+			a.ops += c.Counts.Ops
+			a.flatNS += fe.DurationNS
+			a.nativeNS += ne.DurationNS
+		}
+		if a.flatNS > 0 && a.nativeNS > 0 {
+			rows = append(rows, struct {
+				name string
+				agg
+			}{p.Name, a})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Println("\nnative vs flat throughput (dynamic ops/sec, summed over configs):")
+	for _, row := range rows {
+		flatRate := float64(row.ops) / (float64(row.flatNS) / 1e9)
+		nativeRate := float64(row.ops) / (float64(row.nativeNS) / 1e9)
+		fmt.Printf("  %-11s flat %10.1f Mops/s   native %10.1f Mops/s   speedup %6.1fx\n",
+			row.name, flatRate/1e6, nativeRate/1e6, float64(row.flatNS)/float64(row.nativeNS))
+	}
 }
 
 // writeReport stamps and writes a report to out ("-" = stdout, "" =

@@ -13,9 +13,16 @@
 // both lists). -sanitize runs the program under the analysis-soundness
 // sanitizer: every memory access is diffed against the static MOD/REF
 // and points-to sets, and any access outside them is reported with
-// function/block/instruction provenance (exit status 1). -engine selects the interpreter engine (flat, the
-// pre-lowered default, or switch, the block-walking reference); both
-// produce identical counts, so the choice only changes wall time.
+// function/block/instruction provenance (exit status 1). -engine
+// selects the execution engine: flat (the pre-lowered default),
+// switch (the block-walking reference), or native (the program
+// compiled to machine code via generated Go); all three produce
+// identical counts, output, and error text, so the choice only
+// changes wall time. -native-backend picks how native artifacts
+// execute (auto probes in-process plugin loading and falls back to a
+// subprocess exec); -nocounts runs the native engine without
+// instrumentation, reporting zero counts in exchange for the fastest
+// possible run.
 // -cpuprofile writes a Go pprof profile of the whole compile+run, for
 // profiling the measurement loop itself. -trace-out writes the
 // compile and execute spans as Chrome trace_event JSON, and -metrics
@@ -31,6 +38,7 @@ import (
 
 	"regpromo/internal/driver"
 	"regpromo/internal/interp"
+	"regpromo/internal/native"
 	"regpromo/internal/obs"
 )
 
@@ -47,7 +55,9 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress program output, print only counts")
 	profile := flag.Bool("profile", false, "collect and print a hot-spot profile")
 	top := flag.Int("top", 10, "profile list length (with -profile)")
-	engineName := flag.String("engine", "flat", "interpreter engine: flat or switch")
+	engineName := flag.String("engine", "flat", "execution engine: flat, switch, or native")
+	nativeBackend := flag.String("native-backend", "", `native artifact execution: "auto", "plugin", or "subprocess"`)
+	noCounts := flag.Bool("nocounts", false, "native engine only: skip instrumentation (counts report zero)")
 	sanitize := flag.Bool("sanitize", false, "diff observed memory behaviour against the static analyses")
 	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the compile+run to this file")
 	traceOut := flag.String("trace-out", "", "write compile+execute spans as Chrome trace_event JSON to this file")
@@ -85,10 +95,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	engine, err := interp.ParseEngine(*engineName)
+	engine, err := driver.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpexec:", err)
 		os.Exit(2)
+	}
+	if *nativeBackend != "" {
+		b, err := native.ParseBackend(*nativeBackend)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpexec:", err)
+			os.Exit(2)
+		}
+		native.SetDefaultBackend(b)
 	}
 
 	if *cpuprofile != "" {
@@ -118,7 +136,7 @@ func main() {
 		os.Exit(1)
 	}
 	esp := pipe.StartSpan("execute", "interp", 0).Label("engine", engine.String())
-	res, err := c.Execute(interp.Options{MaxSteps: *maxSteps, Profile: *profile, Engine: engine, Sanitize: *sanitize})
+	res, err := c.Execute(interp.Options{MaxSteps: *maxSteps, Profile: *profile, Engine: engine, Sanitize: *sanitize, NoCounts: *noCounts})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpexec:", err)
 		os.Exit(1)

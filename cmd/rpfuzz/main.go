@@ -17,10 +17,20 @@
 //	-parallel M   concurrent seeds (default: one per CPU)
 //	-short        trim the matrix to the reference plus the paper's
 //	              three measured pipelines (CI smoke runs)
-//	-engines E    "flat" runs the default engine only; "both"
-//	              additionally executes every compilation on the
-//	              switch reference engine and flags any flat-vs-switch
-//	              disagreement (counts included) as a divergence
+//	-engines E    engine matrix: "flat" runs the default engine only;
+//	              "both" adds the switch reference engine; "all" adds
+//	              the switch and native engines; a comma list (e.g.
+//	              "flat,native") selects engines individually. Every
+//	              non-flat engine executes each compilation and any
+//	              disagreement with the flat engine — output, exit,
+//	              error text, dynamic counts — is a divergence, so a
+//	              native run is a translation-validation check of the
+//	              codegen on every seed
+//	-native-backend B  how native artifacts execute: "auto" (probe
+//	              plugin, fall back to subprocess), "plugin", or
+//	              "subprocess"; the fuzzer defaults to subprocess
+//	              because plugins can never be unloaded and a fuzz run
+//	              builds one artifact per (seed, config)
 //	-sanitize     additionally run every execution under the
 //	              analysis-soundness sanitizer; a memory access outside
 //	              the static MOD/REF or points-to sets is a divergence,
@@ -57,6 +67,9 @@ import (
 	"time"
 
 	"regpromo/internal/difftest"
+	"regpromo/internal/driver"
+	"regpromo/internal/interp"
+	"regpromo/internal/native"
 )
 
 func main() {
@@ -67,7 +80,8 @@ func main() {
 	noreduce := flag.Bool("noreduce", false, "skip delta-debugging reduction of failures")
 	incremental := flag.Bool("incremental", false, "run the incremental-compilation oracle (warm-vs-scratch IL identity)")
 	corpus := flag.String("corpus", "difftest/corpus", "failure artifact directory")
-	engines := flag.String("engines", "flat", `interpreter engines: "flat" or "both" (flat vs switch cross-check)`)
+	engines := flag.String("engines", "flat", `engine matrix: "flat", "both", "all", or a comma list (e.g. "flat,native")`)
+	nativeBackend := flag.String("native-backend", "", `native artifact execution: "auto", "plugin", or "subprocess" (default subprocess)`)
 	sanitize := flag.Bool("sanitize", false, "run executions under the analysis-soundness sanitizer")
 	progressEvery := flag.Int64("progress", 100, "print a progress line every N completed seeds (0 = off)")
 	verbose := flag.Bool("v", false, "log each divergence as it is found")
@@ -76,23 +90,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rpfuzz: -seeds must be positive")
 		os.Exit(2)
 	}
-	if *engines != "flat" && *engines != "both" {
-		fmt.Fprintf(os.Stderr, "rpfuzz: -engines must be \"flat\" or \"both\", not %q\n", *engines)
+	matrix, err := driver.ParseEngines(*engines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpfuzz:", err)
 		os.Exit(2)
+	}
+	hasNative := false
+	for _, e := range matrix {
+		if e == interp.EngineNative {
+			hasNative = true
+		}
+	}
+	switch {
+	case *nativeBackend != "":
+		b, err := native.ParseBackend(*nativeBackend)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpfuzz:", err)
+			os.Exit(2)
+		}
+		native.SetDefaultBackend(b)
+	case hasNative:
+		// Unless overridden, fuzzing forces the subprocess backend:
+		// every (seed, config) pair builds a distinct artifact and
+		// plugins can never be unloaded from the process.
+		native.SetDefaultBackend(native.BackendSubprocess)
 	}
 	if *incremental {
 		os.Exit(runIncremental(*start, *seeds, *parallel, *short, *corpus, *progressEvery, *verbose))
 	}
 
 	opts := difftest.FuzzOptions{
-		Start:       *start,
-		Seeds:       *seeds,
-		Parallel:    *parallel,
-		Short:       *short,
-		BothEngines: *engines == "both",
-		Sanitize:    *sanitize,
-		Reduce:      !*noreduce,
-		CorpusDir:   *corpus,
+		Start:     *start,
+		Seeds:     *seeds,
+		Parallel:  *parallel,
+		Short:     *short,
+		Engines:   matrix,
+		Sanitize:  *sanitize,
+		Reduce:    !*noreduce,
+		CorpusDir: *corpus,
 	}
 
 	// Progress accounting shared by the (possibly parallel) seed

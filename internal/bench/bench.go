@@ -73,9 +73,16 @@ type Measurement struct {
 	Promote int // scalar + pointer promotions performed
 	Spilled int
 
-	// Exec records how the run happened: which interpreter engine, a
+	// Exec records how the run happened: which execution engine, a
 	// shared or from-scratch front end, and the execution wall time.
+	// In a multi-engine measurement it is the first engine's event;
+	// Execs carries the full list.
 	Exec obs.ExecEvent
+
+	// Execs is the per-engine execution record, one event per engine
+	// in the order requested. Single-engine measurements have exactly
+	// one entry (aliased by Exec).
+	Execs []obs.ExecEvent
 
 	// Passes is the per-pass telemetry (wall time, IR deltas, pass
 	// stats) recorded when the measurement was observed; nil for
@@ -102,17 +109,26 @@ func measureWith(p Program, cfg driver.Config, pipe *obs.Pipeline) (*Measurement
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
-	return execute(p, c, interp.EngineFlat, false, pipe)
+	return execute(p, c, []interp.Engine{interp.EngineFlat}, false, pipe)
 }
 
 // measureShared forks cfg's pipeline from the program's parsed
 // artifact and executes the result under engine. pipe may be nil.
 func measureShared(p Program, fe *driver.Frontend, cfg driver.Config, engine interp.Engine, pipe *obs.Pipeline) (*Measurement, error) {
+	return measureSharedEngines(p, fe, cfg, []interp.Engine{engine}, pipe)
+}
+
+// measureSharedEngines is measureShared over an engine list: one
+// compilation, executed once per engine, with the engines held to
+// identical counts, output, and exit status (a disagreement fails the
+// measurement — it would mean the parity contract the differential
+// tests enforce has been broken on a real workload).
+func measureSharedEngines(p Program, fe *driver.Frontend, cfg driver.Config, engines []interp.Engine, pipe *obs.Pipeline) (*Measurement, error) {
 	c, err := fe.Compile(cfg, pipe)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
-	return execute(p, c, engine, true, pipe)
+	return execute(p, c, engines, true, pipe)
 }
 
 // frontend parses a suite member once for compile-once sharing.
@@ -124,31 +140,55 @@ func frontend(p Program) (*driver.Frontend, error) {
 	return fe, nil
 }
 
-// execute runs a compiled program and packages the measurement.
-func execute(p Program, c *driver.Compilation, engine interp.Engine, reused bool, pipe *obs.Pipeline) (*Measurement, error) {
-	sp := pipe.StartSpan("execute", "interp", 0).
-		Label("program", p.Name).Label("engine", engine.String())
-	start := time.Now()
-	res, err := c.Execute(interp.Options{MaxSteps: 1 << 33, Engine: engine})
-	if err != nil {
-		sp.End()
-		return nil, fmt.Errorf("%s: %w", p.Name, err)
-	}
-	sp.Arg("ops", res.Counts.Ops).
-		Arg("loads", res.Counts.Loads).
-		Arg("stores", res.Counts.Stores).
-		End()
+// execute runs a compiled program on each requested engine and
+// packages the measurement. Engine setup cost — flat-code lowering,
+// the native toolchain build — happens before the run timer starts,
+// so the per-engine wall times compare pure execution. The first
+// engine's counts and output define the measurement; every further
+// engine must reproduce them exactly.
+func execute(p Program, c *driver.Compilation, engines []interp.Engine, reused bool, pipe *obs.Pipeline) (*Measurement, error) {
 	m := &Measurement{
-		Counts:  res.Counts,
-		Output:  res.Output,
 		Promote: c.Promote.ScalarPromotions + c.Promote.PointerPromotions,
 		Spilled: c.Alloc.Spilled,
-		Exec: obs.ExecEvent{
+	}
+	for i, engine := range engines {
+		opts := interp.Options{MaxSteps: 1 << 33, Engine: engine}
+		if err := c.PrepareEngine(opts); err != nil {
+			return nil, fmt.Errorf("%s: %s engine: %w", p.Name, engine, err)
+		}
+		// One untimed warmup run per engine, so the timed run measures
+		// steady-state execution for every engine alike — a freshly
+		// loaded native plugin otherwise pays its page-in and first-touch
+		// costs inside the timed window, which swamps short programs.
+		if _, err := c.Execute(opts); err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		sp := pipe.StartSpan("execute", "interp", 0).
+			Label("program", p.Name).Label("engine", engine.String())
+		start := time.Now()
+		res, err := c.Execute(opts)
+		if err != nil {
+			sp.End()
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		sp.Arg("ops", res.Counts.Ops).
+			Arg("loads", res.Counts.Loads).
+			Arg("stores", res.Counts.Stores).
+			End()
+		if i == 0 {
+			m.Counts = res.Counts
+			m.Output = res.Output
+		} else if res.Counts != m.Counts || res.Output != m.Output {
+			return nil, fmt.Errorf("%s: engine parity broken: %s counts=%+v output %d bytes, %s counts=%+v output %d bytes",
+				p.Name, engines[0], m.Counts, len(m.Output), engine, res.Counts, len(res.Output))
+		}
+		m.Execs = append(m.Execs, obs.ExecEvent{
 			Engine:         engine.String(),
 			FrontendReused: reused,
 			DurationNS:     time.Since(start).Nanoseconds(),
-		},
+		})
 	}
+	m.Exec = m.Execs[0]
 	if pipe != nil {
 		m.Passes = pipe.Events
 	}
@@ -233,17 +273,31 @@ type Options struct {
 	Programs []string
 	// K overrides the register supply (0 = default).
 	K int
-	// Engine selects the interpreter engine for the measurement runs
+	// Engine selects the execution engine for the measurement runs
 	// (zero value = the flat engine). Counts are engine-independent —
 	// the engines differential test holds them to byte equality — so
 	// this only changes measurement wall time.
 	Engine interp.Engine
+	// Engines, when non-empty, runs every measurement on each listed
+	// engine (overriding Engine): one report cell records a timed
+	// execution per engine, all held to identical counts and output,
+	// so throughput ratios (e.g. native over flat) land in one report.
+	Engines []interp.Engine
 	// Parallel bounds how many programs are measured concurrently:
 	// 1 (or less) measures serially, 0 is treated as 1, and larger
 	// values fan the suite out over a worker pool. Results are
 	// assembled in suite order either way, so the tables and reports
 	// a parallel run produces are identical to a serial run's.
 	Parallel int
+}
+
+// engineList resolves the effective engine list: Engines verbatim
+// when set, else the single Engine.
+func (o Options) engineList() []interp.Engine {
+	if len(o.Engines) > 0 {
+		return o.Engines
+	}
+	return []interp.Engine{o.Engine}
 }
 
 // workers normalizes Options.Parallel for ParallelMap: the harness
@@ -311,11 +365,11 @@ func measureProgram(p Program, opts Options) (*programFigures, error) {
 		with.Promote = true
 		with.PointerPromote = opts.PointerPromotion
 
-		m0, err := measureShared(p, fe, base, opts.Engine, nil)
+		m0, err := measureShared(p, fe, base, opts.engineList()[0], nil)
 		if err != nil {
 			return nil, err
 		}
-		m1, err := measureShared(p, fe, with, opts.Engine, nil)
+		m1, err := measureShared(p, fe, with, opts.engineList()[0], nil)
 		if err != nil {
 			return nil, err
 		}

@@ -21,8 +21,12 @@ import (
 // regpromo-bench/3 added the process-wide metrics snapshot
 // (Report.Metrics) captured after the measurement matrix ran;
 // regpromo-bench/4 added the scale-tier cell (Report.Scale: cold vs
-// warm incremental-analysis cost on a ~1000-function module).
-const SchemaVersion = "regpromo-bench/4"
+// warm incremental-analysis cost on a ~1000-function module);
+// regpromo-bench/5 added per-engine execution cells
+// (ConfigReport.Execs: one timed run per requested engine — flat,
+// switch, native — with Exec kept as the first engine's event for
+// older readers).
+const SchemaVersion = "regpromo-bench/5"
 
 // BaselineGlob matches versioned benchmark reports in the repo root.
 const BaselineGlob = "BENCH_*.json"
@@ -74,8 +78,14 @@ type ConfigReport struct {
 	StageNS   map[string]int64 `json:"stage_ns,omitempty"`
 	Passes    []*obs.PassEvent `json:"passes"`
 	// Exec records the execution side: engine, compile-once reuse,
-	// and run wall time.
+	// and run wall time. In a multi-engine run it duplicates Execs[0]
+	// so readers of older schemas keep working.
 	Exec obs.ExecEvent `json:"exec,omitempty"`
+	// Execs is the per-engine execution record (schema 5+), one event
+	// per engine in the order the run requested. Counts are identical
+	// across engines by the parity contract; only the wall times
+	// differ, which is exactly what the native-speedup ratio reads.
+	Execs []obs.ExecEvent `json:"execs,omitempty"`
 }
 
 // FigureReport is one rendered figure of the paper's matrix.
@@ -140,7 +150,7 @@ func collectProgram(p Program, opts Options) (ProgramReport, error) {
 			if promote {
 				cfg.PointerPromote = opts.PointerPromotion
 			}
-			m, err := measureShared(p, fe, cfg, opts.Engine, &obs.Pipeline{})
+			m, err := measureSharedEngines(p, fe, cfg, opts.engineList(), &obs.Pipeline{})
 			if err != nil {
 				return pr, err
 			}
@@ -161,6 +171,7 @@ func collectProgram(p Program, opts Options) (ProgramReport, error) {
 				StageNS:    stageNS,
 				Passes:     m.Passes,
 				Exec:       m.Exec,
+				Execs:      m.Execs,
 			})
 		}
 	}
@@ -203,6 +214,24 @@ func (r *Report) buildFigures() []FigureReport {
 	return figs
 }
 
+// ExecFor returns the cell's execution event for the named engine,
+// if the cell recorded one. Schema-5 cells are searched by engine;
+// older reports carry a single legacy Exec event, which matches by
+// its engine name (reports predating the engine label count as flat).
+func (c *ConfigReport) ExecFor(engine string) (*obs.ExecEvent, bool) {
+	for i := range c.Execs {
+		if c.Execs[i].Engine == engine {
+			return &c.Execs[i], true
+		}
+	}
+	if len(c.Execs) == 0 && c.Exec != (obs.ExecEvent{}) {
+		if c.Exec.Engine == engine || (c.Exec.Engine == "" && engine == "flat") {
+			return &c.Exec, true
+		}
+	}
+	return nil, false
+}
+
 // Config returns the cell for (analysis, promote), if present.
 func (p *ProgramReport) Config(analysis string, promote bool) (*ConfigReport, bool) {
 	for i := range p.Configs {
@@ -242,6 +271,9 @@ func (r *Report) StripTimings() {
 			c.CompileNS = 0
 			c.StageNS = nil
 			c.Exec.DurationNS = 0
+			for k := range c.Execs {
+				c.Execs[k].DurationNS = 0
+			}
 			for _, e := range c.Passes {
 				e.DurationNS = 0
 			}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"regpromo/internal/obs"
 )
 
 // This file is the regression-detection half of the benchmark
@@ -127,6 +129,23 @@ func Compare(old, cur *Report, threshold float64) *CompareReport {
 				cr.Deltas = append(cr.Deltas,
 					delta(np.Name, key, "stage_ns/"+stage, oc.StageNS[stage], nc.StageNS[stage], false, false))
 			}
+			// Per-engine execution wall times (schema 5+). An engine
+			// is compared only when both reports carry a cell for it:
+			// a pre-native baseline diffed against a multi-engine run
+			// simply skips the engines it never measured instead of
+			// failing the comparison. ExecFor's legacy fallback maps
+			// an old single-Exec report onto its engine name, so the
+			// flat series stays continuous across the schema bump.
+			// Wall times are informational, like every other timing.
+			for _, engine := range execEngines(oc, nc) {
+				oe, okOld := oc.ExecFor(engine)
+				ne, okNew := nc.ExecFor(engine)
+				if !okOld || !okNew {
+					continue
+				}
+				cr.Deltas = append(cr.Deltas,
+					delta(np.Name, key, "exec_ns/"+engine, oe.DurationNS, ne.DurationNS, false, false))
+			}
 		}
 	}
 	// Scale-tier cell: the deterministic work counts gate (an
@@ -165,6 +184,37 @@ func boolInt(b bool) int64 {
 		return 1
 	}
 	return 0
+}
+
+// execEngines merges the engine names recorded by both cells'
+// execution events, in stable order: the new cell's order first (it
+// reflects the run's -engine list), then any engine only the old cell
+// measured. A legacy cell (single Exec, no Execs) contributes its one
+// engine name, with the pre-label era counting as flat.
+func execEngines(old, cur *ConfigReport) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(events []obs.ExecEvent, legacy obs.ExecEvent) {
+		for _, e := range events {
+			if e.Engine != "" && !seen[e.Engine] {
+				seen[e.Engine] = true
+				names = append(names, e.Engine)
+			}
+		}
+		if len(events) == 0 && legacy != (obs.ExecEvent{}) {
+			name := legacy.Engine
+			if name == "" {
+				name = "flat"
+			}
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	add(cur.Execs, cur.Exec)
+	add(old.Execs, old.Exec)
+	return names
 }
 
 // sortedStageNames merges the stage keys of both cells, sorted.

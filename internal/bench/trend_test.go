@@ -149,6 +149,67 @@ func TestCompareMetricDeltas(t *testing.T) {
 	}
 }
 
+// TestCompareEngineExecCells covers the per-engine wall-time cells
+// across the schema-5 bump. The old fixture predates engine labels (a
+// single legacy Exec with no engine name); the new one carries flat
+// and native Execs. The legacy event must line up with the flat
+// series, the native cell — absent from the baseline — must be
+// skipped rather than failing the comparison, and no wall time may
+// gate.
+func TestCompareEngineExecCells(t *testing.T) {
+	old := loadFixture(t, "trend_engines_old.json")
+	cur := loadFixture(t, "trend_engines_new.json")
+	cr := Compare(old, cur, 1.0)
+	if !cr.OK() {
+		t.Fatalf("engine-cell compare regressed: %v", cr.Regressions())
+	}
+	byMetric := map[string]Delta{}
+	for _, d := range cr.Deltas {
+		byMetric[d.Metric] = d
+	}
+	flat, ok := byMetric["exec_ns/flat"]
+	if !ok {
+		t.Fatal("exec_ns/flat delta missing (legacy Exec did not map to flat)")
+	}
+	if flat.Old != 900000 || flat.New != 450000 || flat.Gated {
+		t.Errorf("exec_ns/flat delta = %+v", flat)
+	}
+	if d, ok := byMetric["exec_ns/native"]; ok {
+		t.Errorf("native engine compared against a baseline that never measured it: %+v", d)
+	}
+
+	// Both reports carrying engine cells: each engine gets its own
+	// informational delta.
+	cr = Compare(cur, cur, 1.0)
+	for _, engine := range []string{"flat", "native"} {
+		var found bool
+		for _, d := range cr.Deltas {
+			if d.Metric == "exec_ns/"+engine {
+				found = true
+				if d.Gated {
+					t.Errorf("exec_ns/%s is gated", engine)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("exec_ns/%s delta missing from self-compare", engine)
+		}
+	}
+
+	// And the other direction of the schema bump — a multi-engine
+	// baseline against a flat-only run — skips the vanished engine
+	// without failing.
+	cr = Compare(cur, old, 1.0)
+	if !cr.OK() {
+		t.Fatalf("reverse compare regressed: %v", cr.Regressions())
+	}
+	for _, d := range cr.Deltas {
+		if d.Metric == "exec_ns/native" {
+			t.Errorf("native engine compared against a run that never measured it: %+v", d)
+		}
+	}
+}
+
 // copyFixture installs a fixture under a BENCH_*.json name in dir.
 func copyFixture(t *testing.T, dir, fixture, name string) string {
 	t.Helper()

@@ -100,11 +100,39 @@ type Mode struct {
 	// BothEngines executes each compilation on the reference switch
 	// engine too and reports any flat-vs-switch disagreement.
 	BothEngines bool
+	// Engines lists additional engines to cross-check beyond the ones
+	// BothEngines implies; every listed engine executes each
+	// compilation and must agree with the flat engine on output, exit,
+	// error text, and dynamic counts. Listing the native engine turns
+	// every seed into a translation-validation check of the codegen.
+	Engines []interp.Engine
 	// Sanitize runs every execution under the analysis-soundness
 	// sanitizer; any violation is reported as a divergence on that
 	// configuration (the third oracle, beside engine parity and
 	// config divergence).
 	Sanitize bool
+}
+
+// EngineMatrix resolves the mode's full, deduplicated engine list.
+// The flat engine is always first: it is the primary whose behaviour
+// feeds the cross-configuration diff, and every other engine is
+// compared against it.
+func (m Mode) EngineMatrix() []interp.Engine {
+	engines := []interp.Engine{interp.EngineFlat}
+	seen := map[interp.Engine]bool{interp.EngineFlat: true}
+	add := func(e interp.Engine) {
+		if !seen[e] {
+			seen[e] = true
+			engines = append(engines, e)
+		}
+	}
+	if m.BothEngines {
+		add(interp.EngineSwitch)
+	}
+	for _, e := range m.Engines {
+		add(e)
+	}
+	return engines
 }
 
 // DiffSource compiles and executes src under every configuration of
@@ -177,27 +205,41 @@ func runOne(fe *driver.Frontend, nc driver.NamedConfig, mode Mode) Execution {
 		e.Exit = res.Exit
 		e.Counts = res.Counts
 	}
-	if mode.BothEngines {
-		opts.Engine = interp.EngineSwitch
-		sres, serr := c.Execute(opts)
+	for _, eng := range mode.EngineMatrix()[1:] {
+		eopts := opts
+		eopts.Engine = eng
+		if eng == interp.EngineNative {
+			// The sanitizer is interpreter-only; the native engine is
+			// still held to output/exit/error/count parity.
+			eopts.Sanitize = false
+		}
+		sres, serr := c.Execute(eopts)
+		diverged := true
 		switch {
 		case rerr != nil && serr != nil:
 			// Both engines failed: the error text must match exactly, or
 			// the engines disagree about how the program goes wrong.
 			if rerr.Error() != serr.Error() {
-				e.Err = fmt.Errorf("engine divergence: flat error %q, switch error %q", rerr, serr)
+				e.Err = fmt.Errorf("engine divergence: flat error %q, %s error %q", rerr, eng, serr)
+			} else {
+				diverged = false
 			}
 		case rerr != nil || serr != nil:
-			e.Err = fmt.Errorf("engine divergence: flat err=%v, switch err=%v", rerr, serr)
+			e.Err = fmt.Errorf("engine divergence: flat err=%v, %s err=%v", rerr, eng, serr)
 		case res.Output != sres.Output || res.Exit != sres.Exit || res.Counts != sres.Counts:
 			e.Err = fmt.Errorf(
-				"engine divergence: flat exit=%d counts=%+v output=%q; switch exit=%d counts=%+v output=%q",
-				res.Exit, res.Counts, res.Output, sres.Exit, sres.Counts, sres.Output)
-		case !sameDiags(res.Violations, sres.Violations):
-			// Both engines observe execution in the same order, so
-			// their violation lists must match exactly.
-			e.Err = fmt.Errorf("engine divergence: flat violations %q, switch violations %q",
-				diagStrings(res.Violations), diagStrings(sres.Violations))
+				"engine divergence: flat exit=%d counts=%+v output=%q; %s exit=%d counts=%+v output=%q",
+				res.Exit, res.Counts, res.Output, eng, sres.Exit, sres.Counts, sres.Output)
+		case eng != interp.EngineNative && !sameDiags(res.Violations, sres.Violations):
+			// Both interpreter engines observe execution in the same
+			// order, so their violation lists must match exactly.
+			e.Err = fmt.Errorf("engine divergence: flat violations %q, %s violations %q",
+				diagStrings(res.Violations), eng, diagStrings(sres.Violations))
+		default:
+			diverged = false
+		}
+		if diverged {
+			break
 		}
 	}
 	if e.Err == nil && rerr == nil && len(res.Violations) > 0 {
@@ -266,6 +308,10 @@ type FuzzOptions struct {
 	// engines (flat and the switch reference) and reports any
 	// disagreement — counts included — as a divergence.
 	BothEngines bool
+	// Engines lists additional engines (e.g. the native backend) to
+	// cross-check against the flat engine on every seed; see
+	// Mode.Engines.
+	Engines []interp.Engine
 	// Sanitize runs every execution under the analysis-soundness
 	// sanitizer, the third oracle: any observed memory access outside
 	// the static MOD/REF or points-to sets is a divergence, archived
@@ -301,7 +347,7 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 	report := &FuzzReport{Seeds: opts.Seeds, Matrix: matrix}
 	fails, err := bench.ParallelMap(int(opts.Seeds), opts.Parallel, func(i int) (*Failure, error) {
 		seed := opts.Start + int64(i)
-		r := DiffSeedMode(seed, matrix, Mode{BothEngines: opts.BothEngines, Sanitize: opts.Sanitize})
+		r := DiffSeedMode(seed, matrix, Mode{BothEngines: opts.BothEngines, Engines: opts.Engines, Sanitize: opts.Sanitize})
 		div := r.Divergence()
 		sanitizer := strings.Contains(div, "sanitizer:")
 		if reg := obs.Metrics(); reg != nil {
@@ -322,7 +368,7 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 		f := &Failure{Seed: seed, Divergence: div, Sanitizer: sanitizer, Reduced: r.Source, Units: testgen.Units(seed)}
 		if opts.Reduce {
 			f.Reduced, f.Units = Reduce(seed, func(src string) bool {
-				m := Mode{BothEngines: opts.BothEngines, Sanitize: opts.Sanitize}
+				m := Mode{BothEngines: opts.BothEngines, Engines: opts.Engines, Sanitize: opts.Sanitize}
 				return DiffSourceMode(fmt.Sprintf("seed%d.c", seed), src, matrix, m).Diverged()
 			})
 		}

@@ -60,24 +60,39 @@ const (
 	// It produces bit-identical counts, profiles, and behaviour, and
 	// stays as the built-in differential oracle for the flat engine.
 	EngineSwitch
+	// EngineNative compiles the flat program to machine code: the
+	// flattened instruction array is translated to Go source
+	// (Program.NativeSource), built with the Go toolchain, and loaded
+	// as a plugin or executed as a subprocess (internal/native). It
+	// obeys the same parity contract as the interpreters — identical
+	// output, exit status, error text, and dynamic counts — but runs
+	// only through driver.Compilation.Execute, which owns the build
+	// artifact cache; interp.Run rejects it.
+	EngineNative
 )
 
 func (e Engine) String() string {
-	if e == EngineSwitch {
+	switch e {
+	case EngineSwitch:
 		return "switch"
+	case EngineNative:
+		return "native"
 	}
 	return "flat"
 }
 
-// ParseEngine resolves an engine name ("flat" or "switch").
+// ParseEngine resolves an engine name ("flat", "switch", or
+// "native").
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "", "flat":
 		return EngineFlat, nil
 	case "switch":
 		return EngineSwitch, nil
+	case "native":
+		return EngineNative, nil
 	}
-	return EngineFlat, fmt.Errorf("unknown engine %q (want flat or switch)", s)
+	return EngineFlat, fmt.Errorf("unknown engine %q (want flat, switch, or native)", s)
 }
 
 // Options configure an execution.
@@ -102,6 +117,13 @@ type Options struct {
 	// and violations are reported in Result.Violations. Guarded like
 	// profiling — zero cost when off.
 	Sanitize bool
+	// NoCounts, honoured by the native engine only, selects the
+	// uninstrumented build: no dynamic-op counters and no step-budget
+	// checks are compiled in, so the hot path pays nothing for
+	// instrumentation. Result.Counts is all zeros and MaxSteps is not
+	// enforced. The interpreter engines ignore it — their counters
+	// are structural.
+	NoCounts bool
 }
 
 // Result is the outcome of an execution.
@@ -219,9 +241,15 @@ func computeLayout(mod *ir.Module, fn *ir.Func) *frameLayout {
 }
 
 // Run executes the module's main function under the selected engine.
+// The native engine needs a build-artifact cache and a toolchain
+// invocation, both owned by driver.Compilation — route native
+// executions through Compilation.Execute instead.
 func Run(mod *ir.Module, opts Options) (*Result, error) {
-	if opts.Engine == EngineSwitch {
+	switch opts.Engine {
+	case EngineSwitch:
 		return runSwitch(mod, opts)
+	case EngineNative:
+		return nil, fmt.Errorf("native engine requires a driver.Compilation (use Compilation.Execute)")
 	}
 	return Flatten(mod, opts.Profile).Run(opts)
 }
@@ -347,6 +375,12 @@ func (m *machine) result(exit int64) *Result {
 	reportRunMetrics(res)
 	return res
 }
+
+// ReportRunMetrics folds a finished execution into the process-wide
+// metrics registry on behalf of an out-of-process engine. The
+// interpreter engines report through machine.result; the native
+// runner calls this so its runs land in the same counters.
+func ReportRunMetrics(res *Result) { reportRunMetrics(res) }
 
 // reportRunMetrics folds one finished execution into the process-wide
 // metrics registry. Both engines end through machine.result, so the
