@@ -89,6 +89,7 @@ func main() {
 	pointer := flag.Bool("pointerpromo", false, "measure §3.3 pointer-based promotion against scalar promotion")
 	programs := flag.String("programs", "", "comma-separated program subset")
 	k := flag.Int("k", 0, "physical register count (0 = default)")
+	certify := flag.Bool("certify", false, "re-prove promotion certificates during every measurement compile")
 	markdown := flag.Bool("markdown", false, "emit Markdown tables")
 	jsonOut := flag.Bool("json", false, "write the observed benchmark report as BENCH_<timestamp>.json")
 	out := flag.String("out", "", "output path for -json (default BENCH_<timestamp>.json, \"-\" = stdout)")
@@ -151,7 +152,7 @@ func main() {
 		native.SetDefaultBackend(b)
 	}
 
-	opts := bench.Options{K: *k, Parallel: *parallel, Engine: engines[0], Engines: engines}
+	opts := bench.Options{K: *k, Certify: *certify, Parallel: *parallel, Engine: engines[0], Engines: engines}
 	if *parallel == 0 {
 		opts.Parallel = bench.DefaultWorkers()
 	}

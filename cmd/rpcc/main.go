@@ -26,11 +26,18 @@
 //	                           analysis fixpoints) as Chrome
 //	                           trace_event JSON; open the file in
 //	                           about:tracing or ui.perfetto.dev
-//	-check LEVEL               run the internal/check lint passes:
-//	                           "module" once after the pipeline,
-//	                           "pass" after the front end and after
-//	                           every pass (pinpoints the first pass
-//	                           that breaks an invariant)
+//	-check SPEC                run the internal/check lint passes:
+//	                           "module" runs the full registry once
+//	                           after the pipeline, "pass" after the
+//	                           front end and after every pass
+//	                           (pinpoints the first pass that breaks
+//	                           an invariant), and a comma list of pass
+//	                           names (e.g. "uninit,promoted" or
+//	                           "certify,pressure") runs exactly those
+//	                           at the module boundary
+//	-certify                   re-prove every promotion certificate
+//	                           with the independent region-soundness
+//	                           verifier right after promotion
 //
 // The promotion and allocation summaries always follow the IL as
 // ";"-prefixed comment lines, so downstream IL consumers can skip them.
@@ -67,7 +74,8 @@ func main() {
 	dumpIR := flag.String("dump-ir", "", "print the IL after the named pass (\"all\" = every pass)")
 	jsonOut := flag.Bool("json", false, "emit the compilation record as JSON")
 	traceOut := flag.String("trace-out", "", "write the compile's span tree as Chrome trace_event JSON to this file")
-	checkFlag := flag.String("check", "off", `IL checker level: "off", "module", or "pass" (after every pass)`)
+	checkFlag := flag.String("check", "off", `IL checker: "off", "module", "pass", or a comma list of lint-pass names`)
+	certifyFlag := flag.Bool("certify", false, "re-prove promotion certificates with the region-soundness verifier")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -100,12 +108,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpcc: unknown analysis %q (want modref or pointer)\n", *analysis)
 		os.Exit(2)
 	}
-	level, err := driver.ParseCheckLevel(*checkFlag)
+	level, checkPasses, err := driver.ParseCheck(*checkFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpcc:", err)
 		os.Exit(2)
 	}
 	cfg.Check = level
+	cfg.CheckPasses = checkPasses
+	cfg.Certify = *certifyFlag
 
 	// Observe the pipeline whenever any telemetry output was asked for.
 	var pipe *obs.Pipeline

@@ -13,7 +13,10 @@
 // both lists). -sanitize runs the program under the analysis-soundness
 // sanitizer: every memory access is diffed against the static MOD/REF
 // and points-to sets, and any access outside them is reported with
-// function/block/instruction provenance (exit status 1). -engine
+// function/block/instruction provenance (exit status 1). -certify
+// re-proves every promotion certificate with the independent
+// region-soundness verifier right after promotion; a refuted
+// certificate fails the compile. -engine
 // selects the execution engine: flat (the pre-lowered default),
 // switch (the block-walking reference), or native (the program
 // compiled to machine code via generated Go); all three produce
@@ -59,6 +62,7 @@ func main() {
 	nativeBackend := flag.String("native-backend", "", `native artifact execution: "auto", "plugin", or "subprocess"`)
 	noCounts := flag.Bool("nocounts", false, "native engine only: skip instrumentation (counts report zero)")
 	sanitize := flag.Bool("sanitize", false, "diff observed memory behaviour against the static analyses")
+	certify := flag.Bool("certify", false, "re-prove promotion certificates with the region-soundness verifier")
 	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the compile+run to this file")
 	traceOut := flag.String("trace-out", "", "write compile+execute spans as Chrome trace_event JSON to this file")
 	metrics := flag.Bool("metrics", false, "enable the metrics registry and print its snapshot after the run")
@@ -84,6 +88,7 @@ func main() {
 		K:              *k,
 		Throttle:       *throttle,
 		DSE:            *dseFlag,
+		Certify:        *certify,
 	}
 	switch *analysis {
 	case "modref":

@@ -35,6 +35,10 @@
 //	              analysis-soundness sanitizer; a memory access outside
 //	              the static MOD/REF or points-to sets is a divergence,
 //	              archived like any other
+//	-certify      additionally re-prove every promotion certificate with
+//	              the independent region-soundness verifier on every
+//	              compilation; a refuted certificate is a divergence,
+//	              archived like any other
 //	-noreduce     archive failures without shrinking them first
 //	-incremental  run the incremental-compilation oracle instead: per
 //	              seed, compile a one-unit-edited variant cold into a
@@ -48,8 +52,9 @@
 //	-v            log each divergent seed as it is found
 //
 // Long runs are not silent: a progress line (seeds done, divergences,
-// sanitizer violations, elapsed, seeds/sec) goes to stderr every
-// -progress seeds, and a matching summary line always ends the run.
+// sanitizer violations, refuted certificates, elapsed, seeds/sec) goes
+// to stderr every -progress seeds, and a matching summary line always
+// ends the run.
 //
 // Exit status is 0 when every seed agrees under every configuration,
 // 1 when any divergence was found, 2 on usage or I/O errors. Each
@@ -83,6 +88,7 @@ func main() {
 	engines := flag.String("engines", "flat", `engine matrix: "flat", "both", "all", or a comma list (e.g. "flat,native")`)
 	nativeBackend := flag.String("native-backend", "", `native artifact execution: "auto", "plugin", or "subprocess" (default subprocess)`)
 	sanitize := flag.Bool("sanitize", false, "run executions under the analysis-soundness sanitizer")
+	certify := flag.Bool("certify", false, "re-prove promotion certificates with the region-soundness verifier")
 	progressEvery := flag.Int64("progress", 100, "print a progress line every N completed seeds (0 = off)")
 	verbose := flag.Bool("v", false, "log each divergence as it is found")
 	flag.Parse()
@@ -126,6 +132,7 @@ func main() {
 		Short:     *short,
 		Engines:   matrix,
 		Sanitize:  *sanitize,
+		Certify:   *certify,
 		Reduce:    !*noreduce,
 		CorpusDir: *corpus,
 	}
@@ -134,8 +141,8 @@ func main() {
 	// workers. Progress runs on worker goroutines, so everything it
 	// touches is atomic.
 	began := time.Now()
-	var done, diverged, sanitizerHits atomic.Int64
-	opts.Progress = func(seed int64, div, san bool) {
+	var done, diverged, sanitizerHits, certifyHits atomic.Int64
+	opts.Progress = func(seed int64, div, san, cert bool) {
 		n := done.Add(1)
 		if div {
 			diverged.Add(1)
@@ -146,9 +153,12 @@ func main() {
 		if san {
 			sanitizerHits.Add(1)
 		}
+		if cert {
+			certifyHits.Add(1)
+		}
 		if *progressEvery > 0 && n%*progressEvery == 0 {
 			fmt.Fprintf(os.Stderr, "rpfuzz: %s\n",
-				statusLine(n, *seeds, diverged.Load(), sanitizerHits.Load(), time.Since(began)))
+				statusLine(n, *seeds, diverged.Load(), sanitizerHits.Load(), certifyHits.Load(), time.Since(began)))
 		}
 	}
 
@@ -159,7 +169,7 @@ func main() {
 	}
 	fmt.Printf("rpfuzz: seeds [%d, %d) × %d configs: %s\n",
 		*start, *start+*seeds, len(report.Matrix),
-		statusLine(done.Load(), *seeds, diverged.Load(), sanitizerHits.Load(), time.Since(began)))
+		statusLine(done.Load(), *seeds, diverged.Load(), sanitizerHits.Load(), certifyHits.Load(), time.Since(began)))
 	if len(report.Failures) == 0 {
 		return
 	}
@@ -193,7 +203,7 @@ func runIncremental(start, seeds int64, parallel int, short bool, corpus string,
 			}
 			if progressEvery > 0 && n%progressEvery == 0 {
 				fmt.Fprintf(os.Stderr, "rpfuzz: incremental %s\n",
-					statusLine(n, seeds, diverged.Load(), 0, time.Since(began)))
+					statusLine(n, seeds, diverged.Load(), 0, 0, time.Since(began)))
 			}
 		},
 	}
@@ -204,7 +214,7 @@ func runIncremental(start, seeds int64, parallel int, short bool, corpus string,
 	}
 	fmt.Printf("rpfuzz: incremental oracle, seeds [%d, %d) × %d configs × 2 directions: %s\n",
 		start, start+seeds, len(report.Matrix),
-		statusLine(done.Load(), seeds, diverged.Load(), 0, time.Since(began)))
+		statusLine(done.Load(), seeds, diverged.Load(), 0, 0, time.Since(began)))
 	if len(report.Failures) == 0 {
 		return 0
 	}
@@ -215,14 +225,15 @@ func runIncremental(start, seeds int64, parallel int, short bool, corpus string,
 }
 
 // statusLine renders the shared progress/summary form: seeds done,
-// divergences, sanitizer violations, elapsed wall time, seeds/sec.
-func statusLine(done, total, diverged, sanitizer int64, elapsed time.Duration) string {
+// divergences, sanitizer violations, refuted certificates, elapsed
+// wall time, seeds/sec.
+func statusLine(done, total, diverged, sanitizer, certify int64, elapsed time.Duration) string {
 	rate := 0.0
 	if secs := elapsed.Seconds(); secs > 0 {
 		rate = float64(done) / secs
 	}
-	return fmt.Sprintf("%d/%d seeds, %d divergences (%d sanitizer), %.1fs elapsed, %.1f seeds/sec",
-		done, total, diverged, sanitizer, elapsed.Seconds(), rate)
+	return fmt.Sprintf("%d/%d seeds, %d divergences (%d sanitizer, %d certify), %.1fs elapsed, %.1f seeds/sec",
+		done, total, diverged, sanitizer, certify, elapsed.Seconds(), rate)
 }
 
 func indent(s string) string {

@@ -1,0 +1,21 @@
+// Package certify independently re-proves register-promotion
+// certificates and statically measures promoted-value register
+// pressure.
+//
+// The promoter (internal/opt/promote) records one certificate per
+// promoted region: the region's blocks, the boundary spill points,
+// and the MOD/REF call summaries the decision relied on. This package
+// re-establishes each certificate's soundness obligations without
+// consulting analysis/pointsto or analysis/modref — a deliberately
+// independent proof path, so a bug in the sharper analyses cannot
+// certify its own output. Verification uses CFG dataflow on
+// internal/dataflow plus a purely syntactic alias oracle; see Verify
+// and the obligations documented on verifier.region.
+//
+// The pressure side (MeasurePressure) reads promoted-value liveness
+// off the register allocator's dataflow and flags regions whose
+// simultaneously-live promoted values leave too few of the K physical
+// registers for everything else — the static form of the paper's
+// water anecdote (§5), where promoting twenty-eight values caused
+// enough spilling to erase the benefit.
+package certify

@@ -1,0 +1,85 @@
+// Suite-wide certification: the whole benchmark suite, compiled under
+// every differential configuration with the certify barrier armed,
+// must pass — the independent verifier finds no violation in any real
+// promotion. The pressure companion pins the paper's §5 finding: at
+// K=32 exactly water's promotion site is statically over budget.
+package certify_test
+
+import (
+	"errors"
+	"testing"
+
+	"regpromo/internal/analysis/certify"
+	"regpromo/internal/bench"
+	"regpromo/internal/driver"
+)
+
+// TestSuiteMatrixCertifiesClean compiles every suite program under
+// every differential configuration with Config.Certify set. A
+// certificate violation surfaces as a *driver.CheckError from Compile,
+// so a clean pass here is the "no false positives at scale" half of
+// the seeded-defect story.
+func TestSuiteMatrixCertifiesClean(t *testing.T) {
+	for _, p := range bench.Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			fe, err := driver.ParseSource(p.Name+".c", bench.Source(p))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			for _, nc := range driver.DifferentialConfigurations(testing.Short()) {
+				cfg := nc.Config
+				cfg.Certify = true
+				if _, err := fe.Compile(cfg, nil); err != nil {
+					var ce *driver.CheckError
+					if errors.As(err, &ce) {
+						t.Errorf("%s: certify barrier refused the compile: %v", nc.Name, ce.Diags)
+					} else {
+						t.Errorf("%s: compile: %v", nc.Name, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPressureFlagsWaterOnly reproduces the paper's §5 register-
+// pressure observation statically: at the default budget of K=32, the
+// promoted inter-molecular loop of water is the one promotion site in
+// the suite whose worst boundary both exceeds the machine and is
+// dominated by promoted values, while every other program's sites fit.
+func TestPressureFlagsWaterOnly(t *testing.T) {
+	for _, p := range bench.Suite() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			fe, err := driver.ParseSource(p.Name+".c", bench.Source(p))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			c, err := fe.Compile(driver.Config{Analysis: driver.ModRef, Promote: true}, nil)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			var over []certify.Pressure
+			for _, pr := range c.Pressure() {
+				if pr.OverBudget {
+					over = append(over, pr)
+				}
+			}
+			if p.Name == "water" {
+				if len(over) == 0 {
+					t.Fatalf("water's promotion site not flagged over budget; pressure: %+v", c.Pressure())
+				}
+				for _, pr := range over {
+					if pr.MaxLiveAll <= pr.Limit || 2*pr.MaxLive <= pr.Limit {
+						t.Errorf("flagged site does not satisfy the budget predicate: %+v", pr)
+					}
+				}
+			} else if len(over) != 0 {
+				t.Errorf("unexpected over-budget site(s): %+v", over)
+			}
+		})
+	}
+}

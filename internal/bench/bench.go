@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"regpromo/internal/analysis/certify"
 	"regpromo/internal/driver"
 	"regpromo/internal/interp"
 	"regpromo/internal/obs"
@@ -72,6 +73,10 @@ type Measurement struct {
 	Output  string
 	Promote int // scalar + pointer promotions performed
 	Spilled int
+
+	// Pressure is the static register-pressure report per promotion
+	// site (empty when nothing was promoted); see certify.Pressure.
+	Pressure []certify.Pressure
 
 	// Exec records how the run happened: which execution engine, a
 	// shared or from-scratch front end, and the execution wall time.
@@ -148,8 +153,9 @@ func frontend(p Program) (*driver.Frontend, error) {
 // engine must reproduce them exactly.
 func execute(p Program, c *driver.Compilation, engines []interp.Engine, reused bool, pipe *obs.Pipeline) (*Measurement, error) {
 	m := &Measurement{
-		Promote: c.Promote.ScalarPromotions + c.Promote.PointerPromotions,
-		Spilled: c.Alloc.Spilled,
+		Promote:  c.Promote.ScalarPromotions + c.Promote.PointerPromotions,
+		Spilled:  c.Alloc.Spilled,
+		Pressure: c.Pressure(),
 	}
 	for i, engine := range engines {
 		opts := interp.Options{MaxSteps: 1 << 33, Engine: engine}
@@ -273,6 +279,10 @@ type Options struct {
 	Programs []string
 	// K overrides the register supply (0 = default).
 	K int
+	// Certify re-proves every promotion certificate with the
+	// independent region-soundness verifier during each measurement's
+	// compile; a refuted certificate fails the measurement.
+	Certify bool
 	// Engine selects the execution engine for the measurement runs
 	// (zero value = the flat engine). Counts are engine-independent —
 	// the engines differential test holds them to byte equality — so

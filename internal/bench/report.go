@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"regpromo/internal/analysis/certify"
 	"regpromo/internal/driver"
 	"regpromo/internal/interp"
 	"regpromo/internal/obs"
@@ -25,8 +26,10 @@ import (
 // regpromo-bench/5 added per-engine execution cells
 // (ConfigReport.Execs: one timed run per requested engine — flat,
 // switch, native — with Exec kept as the first engine's event for
-// older readers).
-const SchemaVersion = "regpromo-bench/5"
+// older readers); regpromo-bench/6 added the static register-pressure
+// reports (ConfigReport.Pressure: per promotion site, how many
+// promoted values are simultaneously live against the K budget).
+const SchemaVersion = "regpromo-bench/6"
 
 // BaselineGlob matches versioned benchmark reports in the repo root.
 const BaselineGlob = "BENCH_*.json"
@@ -86,6 +89,11 @@ type ConfigReport struct {
 	// across engines by the parity contract; only the wall times
 	// differ, which is exactly what the native-speedup ratio reads.
 	Execs []obs.ExecEvent `json:"execs,omitempty"`
+	// Pressure is the static register-pressure report per promotion
+	// site (schema 6+): present only in promoting configurations, and
+	// fully deterministic — it survives StripTimings. An over-budget
+	// site is the static signature of the paper's water anecdote.
+	Pressure []certify.Pressure `json:"pressure,omitempty"`
 }
 
 // FigureReport is one rendered figure of the paper's matrix.
@@ -146,7 +154,7 @@ func collectProgram(p Program, opts Options) (ProgramReport, error) {
 	var outputs []string
 	for _, analysis := range []driver.Analysis{driver.ModRef, driver.PointsTo} {
 		for _, promote := range []bool{false, true} {
-			cfg := driver.Config{Analysis: analysis, Promote: promote, K: opts.K}
+			cfg := driver.Config{Analysis: analysis, Promote: promote, K: opts.K, Certify: opts.Certify}
 			if promote {
 				cfg.PointerPromote = opts.PointerPromotion
 			}
@@ -172,6 +180,7 @@ func collectProgram(p Program, opts Options) (ProgramReport, error) {
 				Passes:     m.Passes,
 				Exec:       m.Exec,
 				Execs:      m.Execs,
+				Pressure:   m.Pressure,
 			})
 		}
 	}

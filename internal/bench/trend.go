@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"regpromo/internal/analysis/certify"
 	"regpromo/internal/obs"
 )
 
@@ -125,6 +126,17 @@ func Compare(old, cur *Report, threshold float64) *CompareReport {
 				delta(np.Name, key, "spilled", int64(oc.Spilled), int64(nc.Spilled), false, true),
 				delta(np.Name, key, "compile_ns", oc.CompileNS, nc.CompileNS, false, false),
 			)
+			// Static pressure (schema 6+) is deterministic, so it gates:
+			// a promotion change that pushes a site over the register
+			// budget — or deepens the worst boundary — is a regression
+			// even when the dynamic counts improve (the spilling shows
+			// up at allocation, not in the interpreter's counters).
+			if len(oc.Pressure) > 0 || len(nc.Pressure) > 0 {
+				cr.Deltas = append(cr.Deltas,
+					delta(np.Name, key, "pressure/over_budget", overBudgetSites(oc.Pressure), overBudgetSites(nc.Pressure), false, true),
+					delta(np.Name, key, "pressure/max_live", worstMaxLive(oc.Pressure), worstMaxLive(nc.Pressure), false, true),
+				)
+			}
 			for _, stage := range sortedStageNames(oc.StageNS, nc.StageNS) {
 				cr.Deltas = append(cr.Deltas,
 					delta(np.Name, key, "stage_ns/"+stage, oc.StageNS[stage], nc.StageNS[stage], false, false))
@@ -177,6 +189,30 @@ func Compare(old, cur *Report, threshold float64) *CompareReport {
 		}
 	}
 	return cr
+}
+
+// overBudgetSites counts a cell's promotion sites flagged over the
+// register budget.
+func overBudgetSites(ps []certify.Pressure) int64 {
+	var n int64
+	for i := range ps {
+		if ps[i].OverBudget {
+			n++
+		}
+	}
+	return n
+}
+
+// worstMaxLive returns the largest simultaneously-live promoted-value
+// count across a cell's promotion sites.
+func worstMaxLive(ps []certify.Pressure) int64 {
+	var max int64
+	for i := range ps {
+		if v := int64(ps[i].MaxLive); v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 func boolInt(b bool) int64 {

@@ -14,6 +14,7 @@
 package check
 
 import (
+	"regpromo/internal/analysis/certify"
 	"regpromo/internal/callgraph"
 	"regpromo/internal/ir"
 	"regpromo/internal/obs"
@@ -39,9 +40,14 @@ type Context struct {
 	AnalysisDone bool
 
 	// Regions are the promoted regions recorded by the promote pass;
-	// empty before it runs (the promotion-invariant lint is then
-	// vacuous).
+	// empty before it runs (the promotion-invariant and certificate
+	// lints are then vacuous).
 	Regions []promote.Region
+
+	// Pressure holds the static register-pressure reports the driver
+	// measured after promotion (empty otherwise); the advisory
+	// pressure lint reads them.
+	Pressure []certify.Pressure
 
 	graph *callgraph.Graph
 }
@@ -72,7 +78,77 @@ func Passes() []Pass {
 		{Name: "arity", Doc: "call arity/signature discipline against defined functions and intrinsics", Run: runArity},
 		{Name: "tags", Doc: "Table-1 tag discipline: kinds, ownership, ⊤ only where the hierarchy permits", Run: runTags},
 		{Name: "promoted", Doc: "promotion invariant: no access to a promoted location inside its region", Run: runPromoted},
+		{Name: "certify", Doc: "re-prove promotion certificates with the independent region-soundness verifier", Run: runCertify},
 	}
+}
+
+// Advisory returns the advisory passes: findings that flag likely
+// performance problems rather than correctness violations, so they
+// are selectable by name (rpcc -check pressure) but excluded from the
+// default Module run — an over-budget promotion is legal IL.
+func Advisory() []Pass {
+	return []Pass{
+		{Name: "pressure", Doc: "static register pressure: promotion sites whose live values exceed the K budget", Run: runPressure},
+	}
+}
+
+// Named returns the registered pass — core or advisory — with the
+// given name.
+func Named(name string) (Pass, bool) {
+	for _, p := range Passes() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range Advisory() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pass{}, false
+}
+
+// Names lists every selectable pass name, core registry first, in
+// execution order.
+func Names() []string {
+	var out []string
+	for _, p := range Passes() {
+		out = append(out, p.Name)
+	}
+	for _, p := range Advisory() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// Selected runs exactly the named passes in registry order (advisory
+// passes after core ones), ignoring names that are not registered —
+// callers validate names up front with Named. The structural
+// verifier, when selected, short-circuits as in Module.
+func Selected(ctx *Context, names []string) []Diag {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var ds []Diag
+	for _, p := range Passes() {
+		if !want[p.Name] {
+			continue
+		}
+		out := p.Run(ctx)
+		if p.Name == "verify" && len(out) > 0 {
+			ir.SortDiags(out)
+			return out
+		}
+		ds = append(ds, out...)
+	}
+	for _, p := range Advisory() {
+		if want[p.Name] {
+			ds = append(ds, p.Run(ctx)...)
+		}
+	}
+	ir.SortDiags(ds)
+	return ds
 }
 
 // Module runs every registered pass over the module and returns the
@@ -89,6 +165,10 @@ func Module(ctx *Context) []Diag {
 		}
 		ds = append(ds, out...)
 	}
+	// Position-sort so the combined output is independent of pass
+	// order and of the parallel middle end's scheduling; the stable
+	// sort keeps registry order between diags at the same position.
+	ir.SortDiags(ds)
 	if r := obs.Metrics(); r != nil {
 		r.Counter("check.runs").Inc()
 		r.Counter("check.diags").Add(int64(len(ds)))

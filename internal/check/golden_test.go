@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"regpromo/internal/analysis/certify"
 	"regpromo/internal/check"
 	"regpromo/internal/ir"
 	"regpromo/internal/opt/promote"
@@ -243,10 +244,63 @@ func TestCallTouchingPromotedTag(t *testing.T) {
 	wantDiag(t, ds, "promoted", "call may touch promoted")
 }
 
+// TestPressureLintFlagsOverBudgetSite: the advisory pressure pass
+// turns each over-budget measurement in the context into one
+// diagnostic anchored at the site's landing pad, and stays quiet for
+// sites within budget.
+func TestPressureLintFlagsOverBudgetSite(t *testing.T) {
+	m := mkMain(func(_ *ir.Module, _ *ir.Func, _ *ir.Block) {})
+	ctx := &check.Context{Module: m, Pressure: []certify.Pressure{
+		{Func: "main", Pad: "pad0", Values: 4, MaxLive: 4, MaxLiveAll: 20, Limit: 32},
+		{Func: "main", Pad: "pad1", Values: 28, MaxLive: 28, MaxLiveAll: 80, Limit: 32, OverBudget: true},
+	}}
+	var ds []check.Diag
+	for _, p := range check.Advisory() {
+		if p.Name == "pressure" {
+			ds = p.Run(ctx)
+		}
+	}
+	wantDiag(t, ds, "pressure", "expect spilling in the loop")
+	if ds[0].Block != "pad1" || ds[0].Index != -1 {
+		t.Errorf("provenance = %s#%d, want pad1#-1", ds[0].Block, ds[0].Index)
+	}
+}
+
+// TestSelectedRunsOnlyRequestedPasses: Selected must run exactly the
+// named passes — core and advisory alike — in registry order
+// regardless of request order, and leave the rest silent.
+func TestSelectedRunsOnlyRequestedPasses(t *testing.T) {
+	// One module carrying two latent faults for different passes: a
+	// scalar access to a heap tag ("tags") and an over-budget pressure
+	// site ("pressure"). "uninit" would stay quiet even if run.
+	m := mkMain(func(m *ir.Module, fn *ir.Func, entry *ir.Block) {
+		h := m.Tags.NewTag("heap@1", ir.TagHeap, "", 8, 8)
+		r := fn.NewReg()
+		entry.Instrs = append(entry.Instrs,
+			ir.Instr{Op: ir.OpSLoad, Dst: r, Tag: h.ID, Size: 8})
+	})
+	ctx := &check.Context{Module: m, Pressure: []certify.Pressure{
+		{Func: "main", Pad: "pad0", Values: 28, MaxLive: 28, MaxLiveAll: 80, Limit: 32, OverBudget: true},
+	}}
+
+	if ds := check.Selected(ctx, []string{"uninit"}); len(ds) != 0 {
+		t.Errorf("unrequested faults reported: %v", ds)
+	}
+	ds := check.Selected(ctx, []string{"pressure", "tags"})
+	if len(ds) != 2 {
+		t.Fatalf("got %d diagnostics %v, want 2", len(ds), ds)
+	}
+	for i, want := range []string{"tags", "pressure"} {
+		if ds[i].Check != want {
+			t.Errorf("diag %d from %q, want %q (canonical order)", i, ds[i].Check, want)
+		}
+	}
+}
+
 // TestRegistryNamesAreStable pins the registry order tools and docs
 // rely on.
 func TestRegistryNamesAreStable(t *testing.T) {
-	want := []string{"verify", "cfg", "uninit", "arity", "tags", "promoted"}
+	want := []string{"verify", "cfg", "uninit", "arity", "tags", "promoted", "certify"}
 	ps := check.Passes()
 	if len(ps) != len(want) {
 		t.Fatalf("registry has %d passes, want %d", len(ps), len(want))
@@ -258,5 +312,26 @@ func TestRegistryNamesAreStable(t *testing.T) {
 		if p.Doc == "" {
 			t.Errorf("pass %q has no doc line", p.Name)
 		}
+	}
+	wantAdv := []string{"pressure"}
+	adv := check.Advisory()
+	if len(adv) != len(wantAdv) {
+		t.Fatalf("advisory registry has %d passes, want %d", len(adv), len(wantAdv))
+	}
+	for i, p := range adv {
+		if p.Name != wantAdv[i] {
+			t.Errorf("advisory pass %d = %q, want %q", i, p.Name, wantAdv[i])
+		}
+		if p.Doc == "" {
+			t.Errorf("advisory pass %q has no doc line", p.Name)
+		}
+	}
+	for _, name := range append(append([]string(nil), want...), wantAdv...) {
+		if _, ok := check.Named(name); !ok {
+			t.Errorf("Named(%q) not found", name)
+		}
+	}
+	if _, ok := check.Named("nope"); ok {
+		t.Errorf("Named(\"nope\") unexpectedly found")
 	}
 }

@@ -111,6 +111,12 @@ type Mode struct {
 	// configuration (the third oracle, beside engine parity and
 	// config divergence).
 	Sanitize bool
+	// Certify re-proves every promotion certificate with the
+	// independent region-soundness verifier on each compilation (the
+	// fourth oracle — a static one: a refuted certificate fails the
+	// compile, which the diff reports as a divergence on that
+	// configuration).
+	Certify bool
 }
 
 // EngineMatrix resolves the mode's full, deduplicated engine list.
@@ -191,7 +197,11 @@ func DiffSeedMode(seed int64, matrix []driver.NamedConfig, mode Mode) *Result {
 
 func runOne(fe *driver.Frontend, nc driver.NamedConfig, mode Mode) Execution {
 	e := Execution{Config: nc}
-	c, err := fe.Compile(nc.Config, nil)
+	cfg := nc.Config
+	if mode.Certify {
+		cfg.Certify = true
+	}
+	c, err := fe.Compile(cfg, nil)
 	if err != nil {
 		e.Err = fmt.Errorf("compile: %w", err)
 		return e
@@ -284,6 +294,9 @@ type Failure struct {
 	// analysis-soundness sanitizer violation (as opposed to a pure
 	// behavioural or engine disagreement).
 	Sanitizer bool
+	// Certify is true when the divergence includes a refuted
+	// promotion certificate from the region-soundness verifier.
+	Certify bool
 	// Reduced is the shrunk source (equal to the original when
 	// reduction was disabled or could not shrink it).
 	Reduced string
@@ -317,16 +330,21 @@ type FuzzOptions struct {
 	// the static MOD/REF or points-to sets is a divergence, archived
 	// to the corpus like any other.
 	Sanitize bool
+	// Certify re-proves every promotion certificate on every
+	// compilation, the fourth oracle: a refuted certificate is a
+	// divergence, archived to the corpus like any other.
+	Certify bool
 	// Reduce shrinks each failing program before reporting it.
 	Reduce bool
 	// CorpusDir, when non-empty, receives a failure artifact per
 	// divergent seed.
 	CorpusDir string
 	// Progress, when non-nil, is called after each seed completes
-	// (from worker goroutines, possibly out of order). sanitizer
-	// reports whether the seed's divergence includes an
-	// analysis-soundness sanitizer violation.
-	Progress func(seed int64, diverged, sanitizer bool)
+	// (from worker goroutines, possibly out of order). sanitizer and
+	// certify report whether the seed's divergence includes an
+	// analysis-soundness sanitizer violation or a refuted promotion
+	// certificate, respectively.
+	Progress func(seed int64, diverged, sanitizer, certify bool)
 }
 
 // FuzzReport summarizes a fuzzing run.
@@ -347,9 +365,10 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 	report := &FuzzReport{Seeds: opts.Seeds, Matrix: matrix}
 	fails, err := bench.ParallelMap(int(opts.Seeds), opts.Parallel, func(i int) (*Failure, error) {
 		seed := opts.Start + int64(i)
-		r := DiffSeedMode(seed, matrix, Mode{BothEngines: opts.BothEngines, Engines: opts.Engines, Sanitize: opts.Sanitize})
+		r := DiffSeedMode(seed, matrix, Mode{BothEngines: opts.BothEngines, Engines: opts.Engines, Sanitize: opts.Sanitize, Certify: opts.Certify})
 		div := r.Divergence()
 		sanitizer := strings.Contains(div, "sanitizer:")
+		certify := strings.Contains(div, "[certify")
 		if reg := obs.Metrics(); reg != nil {
 			reg.Counter("difftest.seeds").Inc()
 			if div != "" {
@@ -358,17 +377,20 @@ func Fuzz(opts FuzzOptions) (*FuzzReport, error) {
 			if sanitizer {
 				reg.Counter("difftest.sanitizer_divergences").Inc()
 			}
+			if certify {
+				reg.Counter("difftest.certify_divergences").Inc()
+			}
 		}
 		if opts.Progress != nil {
-			opts.Progress(seed, div != "", sanitizer)
+			opts.Progress(seed, div != "", sanitizer, certify)
 		}
 		if div == "" {
 			return nil, nil
 		}
-		f := &Failure{Seed: seed, Divergence: div, Sanitizer: sanitizer, Reduced: r.Source, Units: testgen.Units(seed)}
+		f := &Failure{Seed: seed, Divergence: div, Sanitizer: sanitizer, Certify: certify, Reduced: r.Source, Units: testgen.Units(seed)}
 		if opts.Reduce {
 			f.Reduced, f.Units = Reduce(seed, func(src string) bool {
-				m := Mode{BothEngines: opts.BothEngines, Engines: opts.Engines, Sanitize: opts.Sanitize}
+				m := Mode{BothEngines: opts.BothEngines, Engines: opts.Engines, Sanitize: opts.Sanitize, Certify: opts.Certify}
 				return DiffSourceMode(fmt.Sprintf("seed%d.c", seed), src, matrix, m).Diverged()
 			})
 		}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"regpromo/internal/analysis/cache"
+	"regpromo/internal/analysis/certify"
 	"regpromo/internal/analysis/modref"
 	"regpromo/internal/analysis/pointsto"
 	"regpromo/internal/callgraph"
@@ -100,6 +101,48 @@ func ParseCheckLevel(s string) (CheckLevel, error) {
 	return CheckOff, fmt.Errorf("unknown check level %q (want off, module, or pass)", s)
 }
 
+// ParseCheck resolves the -check CLI flag: either a level — "off",
+// "module", "pass" — or a comma list of individual lint-pass names
+// from the check registry (e.g. "uninit,promoted" or "pressure"),
+// which runs exactly those passes at the module boundary. Mirrors
+// ParseEngines: the list is deduplicated in first-mention order and
+// unknown names are rejected with the canonical diagnostic format
+// (ir.Diag, check "check") so every CLI entry point prints the same
+// line for the same typo.
+func ParseCheck(spec string) (CheckLevel, []string, error) {
+	switch spec {
+	case "off", "":
+		return CheckOff, nil, nil
+	case "module":
+		return CheckModule, nil, nil
+	case "pass", "after-every-pass":
+		return CheckEveryPass, nil, nil
+	}
+	var names []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(part)
+		if _, ok := check.Named(name); !ok {
+			return CheckOff, nil, checkDiag(name)
+		}
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	return CheckModule, names, nil
+}
+
+// checkDiag renders the canonical unknown-check-pass diagnostic.
+func checkDiag(name string) error {
+	return ir.DiagError([]ir.Diag{{
+		Check: "check",
+		Index: -1,
+		Msg: `unknown check pass "` + name +
+			`" (want off, module, pass, or a comma list of: ` + strings.Join(check.Names(), ", ") + `)`,
+	}})
+}
+
 // CheckError reports lint violations found at a CheckLevel boundary,
 // naming the stage after which the module first failed.
 type CheckError struct {
@@ -157,6 +200,18 @@ type Config struct {
 	// *CheckError from Compile.
 	Check CheckLevel
 
+	// CheckPasses, when non-empty, restricts the lint registry runs to
+	// the named passes (names from check.Names, validated by
+	// ParseCheck). Empty runs the full core registry.
+	CheckPasses []string
+
+	// Certify re-proves every promotion certificate with the
+	// independent region-soundness verifier (internal/analysis/certify)
+	// at a pipeline barrier right after promotion. Refuted certificates
+	// surface as a *CheckError naming PassCertify. No-op without
+	// Promote.
+	Certify bool
+
 	// AnalysisCache, when non-nil, memoizes interprocedural analysis
 	// across compilations: MOD/REF summaries per callgraph SCC and the
 	// points-to narrowing per live-pointer projection. Share one store
@@ -198,6 +253,26 @@ type Compilation struct {
 	// (generated source, toolchain), so within one Compilation the
 	// artifact only depends on the instrumentation mode.
 	natives [2]*native.Artifact
+
+	// pressureByFunc holds the static register-pressure reports
+	// measured right after promotion, keyed by function (only functions
+	// with promotions appear). Read through Pressure.
+	pressureByFunc map[string][]certify.Pressure
+}
+
+// Pressure returns the static register-pressure reports for every
+// promotion site in the module, in function order (empty unless the
+// configuration promoted something). Each report covers one landing
+// pad; see certify.Pressure.
+func (c *Compilation) Pressure() []certify.Pressure {
+	if len(c.pressureByFunc) == 0 {
+		return nil
+	}
+	var out []certify.Pressure
+	for _, name := range c.Module.FuncOrder {
+		out = append(out, c.pressureByFunc[name]...)
+	}
+	return out
 }
 
 // pass is one named stage of the pipeline. run is the whole-module
@@ -240,6 +315,7 @@ const (
 	PassValnum     = "valnum"
 	PassLICM       = "licm"
 	PassPromote    = "promote"
+	PassCertify    = "certify"
 	PassDSE        = "dse"
 	PassPRE        = "pre"
 	PassValnumLate = "valnum.post"
@@ -348,11 +424,31 @@ func (cfg Config) passes() []pass {
 		PressureLimit:       cfg.Throttle,
 	}
 	if cfg.Promote {
+		// Static register pressure is measured right after each
+		// function is promoted: the regions' PromotedReg names are
+		// still virtual and the promoted copies have not yet been
+		// coalesced away, so the count reflects the promoter's own
+		// demand (the quantity the paper's water anecdote is about).
+		recordPressure := func(s *pipeState, f *ir.Func, regions []promote.Region) {
+			reports := certify.MeasurePressure(f, regions, cfg.K)
+			if len(reports) == 0 {
+				return
+			}
+			s.mu.Lock()
+			if s.c.pressureByFunc == nil {
+				s.c.pressureByFunc = make(map[string][]certify.Pressure)
+			}
+			s.c.pressureByFunc[f.Name] = reports
+			s.mu.Unlock()
+		}
 		ps = append(ps, pass{
 			name: PassPromote,
 			run: func(s *pipeState) (map[string]int64, error) {
 				st := promote.Run(s.c.Module, promoteOpts)
 				s.c.Promote = st
+				for _, f := range s.c.Module.FuncsInOrder() {
+					recordPressure(s, f, st.Regions)
+				}
 				return promoteExtras(st), nil
 			},
 			fn: func(s *pipeState, f *ir.Func, _ ir.TagAlloc) (map[string]int64, error) {
@@ -360,10 +456,32 @@ func (cfg Config) passes() []pass {
 				s.mu.Lock()
 				s.c.Promote.Add(st)
 				s.mu.Unlock()
+				recordPressure(s, f, st.Regions)
 				return nil, nil
 			},
 			finish: func(s *pipeState) map[string]int64 { return promoteExtras(s.c.Promote) },
 		})
+		if cfg.Certify {
+			// A run-only barrier: the verifier needs every function's
+			// certificates and the whole module's call structure, so
+			// the parallel middle end parks here between its groups.
+			ps = append(ps, pass{name: PassCertify, run: func(s *pipeState) (map[string]int64, error) {
+				sp := s.pipe.StartSpan("certify.verify", "analysis", 0)
+				sum := certify.Verify(s.c.Module, s.c.Promote.Regions)
+				sp.Arg("regions", int64(sum.Regions)).
+					Arg("violations", int64(sum.Violations)).End()
+				extras := map[string]int64{
+					"regions":    int64(sum.Regions),
+					"proved":     int64(sum.Proved),
+					"unproven":   int64(sum.Unproven),
+					"violations": int64(sum.Violations),
+				}
+				if len(sum.Diags) > 0 {
+					return extras, &CheckError{Pass: PassCertify, Diags: sum.Diags}
+				}
+				return extras, nil
+			}})
+		}
 	}
 	if cfg.DSE {
 		ps = append(ps, pass{
@@ -558,8 +676,15 @@ func (s *pipeState) runChecks(stage string, analysisDone bool) error {
 		Module:       s.c.Module,
 		AnalysisDone: analysisDone,
 		Regions:      s.c.Promote.Regions,
+		Pressure:     s.c.Pressure(),
 	}
-	if ds := check.Module(ctx); len(ds) > 0 {
+	var ds []ir.Diag
+	if len(s.cfg.CheckPasses) > 0 {
+		ds = check.Selected(ctx, s.cfg.CheckPasses)
+	} else {
+		ds = check.Module(ctx)
+	}
+	if len(ds) > 0 {
 		return &CheckError{Pass: stage, Diags: ds}
 	}
 	return nil

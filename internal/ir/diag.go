@@ -2,6 +2,7 @@ package ir
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -59,6 +60,24 @@ func (d Diag) String() string {
 	}
 	sb.WriteString(d.Msg)
 	return sb.String()
+}
+
+// SortDiags orders a diagnostic list by program position — function,
+// then block label, then instruction index — with a stable sort, so
+// diagnostics accumulated in schedule-dependent order (the parallel
+// middle end visits functions concurrently) print byte-identically at
+// any worker count. Diags at the same position keep their relative
+// (registry) order.
+func SortDiags(ds []Diag) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Func != ds[j].Func {
+			return ds[i].Func < ds[j].Func
+		}
+		if ds[i].Block != ds[j].Block {
+			return ds[i].Block < ds[j].Block
+		}
+		return ds[i].Index < ds[j].Index
+	})
 }
 
 // DiagError folds a diagnostic list into a single error: nil when the

@@ -147,19 +147,30 @@ func promotePointerInLoop(fn *ir.Func, l *cfg.Loop, opts Options) Stats {
 		// that reached the pad, so the pad load reads the same cell
 		// the first iteration would.
 		v := fn.NewReg()
+		calls := collectCallFacts(l)
 		insertBeforeTerminator(l.Pad, ir.Instr{Op: ir.OpPLoad, Dst: v, A: base, Tags: g.tags, Size: g.size, Synth: true})
 		stats.LoadsInserted++
-		if !opts.SkipUnwrittenStores || g.stored {
+		demoted := !opts.SkipUnwrittenStores || g.stored
+		if demoted {
 			for _, x := range l.Exits {
 				insertAtHead(x, ir.Instr{Op: ir.OpPStore, A: base, B: v, Tags: g.tags, Size: g.size, Synth: true})
 				stats.StoresInserted++
 			}
 		}
-		body := make([]*ir.Block, 0, len(l.Blocks))
-		for b := range l.Blocks {
-			body = append(body, b)
-		}
-		stats.Regions = append(stats.Regions, Region{Func: fn.Name, Tag: ir.TagInvalid, Tags: g.tags, Body: body})
+		body := l.BlocksInOrder()
+		stats.Regions = append(stats.Regions, Region{
+			Func:        fn.Name,
+			Tag:         ir.TagInvalid,
+			Tags:        g.tags,
+			Body:        body,
+			Pad:         l.Pad,
+			Exits:       append([]*ir.Block(nil), l.Exits...),
+			Size:        g.size,
+			Stored:      g.stored,
+			Demoted:     demoted,
+			PromotedReg: v,
+			Calls:       calls,
+		})
 		for _, in := range g.ops {
 			if in.Op == ir.OpPLoad {
 				*in = ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: v}

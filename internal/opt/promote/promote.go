@@ -39,9 +39,10 @@ type Options struct {
 	PressureLimit int
 }
 
-// Region records one promoted region for the promotion-invariant
-// checker (internal/check): the loop-body blocks in which no explicit
-// access of the promoted location may survive. Exactly one of Tag and
+// Region records one promoted region. It doubles as the region's
+// promotion certificate: enough facts for an independent verifier
+// (internal/analysis/certify) to re-prove the promotion sound without
+// consulting the analyses that justified it. Exactly one of Tag and
 // Tags is meaningful: scalar regions name a single tag, §3.3 pointer
 // regions carry the group's may-set.
 type Region struct {
@@ -57,6 +58,49 @@ type Region struct {
 	// may merge or delete blocks, so consumers must ignore pointers
 	// that are no longer in the function.
 	Body []*ir.Block
+
+	// Pad is the landing-pad block that received the lifted load;
+	// every path into the region passes through it. Like Body, the
+	// pointer may go stale under later CFG edits.
+	Pad *ir.Block
+	// Exits are the loop-exit blocks that received (or, when Demoted
+	// is false, would have received) the demotion store, in block-ID
+	// order at promotion time.
+	Exits []*ir.Block
+	// Size is the access width of the promoted references, in bytes.
+	Size int
+	// Stored reports whether the loop writes the promoted location
+	// (the lift was read-only otherwise).
+	Stored bool
+	// Demoted reports whether demotion stores were actually inserted
+	// at the exits (false only under Options.SkipUnwrittenStores for
+	// an unwritten tag).
+	Demoted bool
+	// PromotedReg is the virtual register the location was promoted
+	// into. Register allocation renames it, so it is only meaningful
+	// before regalloc — the pressure analysis runs there.
+	PromotedReg ir.Reg
+	// Calls records the MOD/REF summary facts of every call inside
+	// the region body at promotion time — the alias-analysis claims
+	// the promotion relied on, in block-ID/instruction order. The
+	// certificate verifier re-derives its own conservative summaries
+	// and checks these against them.
+	Calls []CallFact
+}
+
+// CallFact is one region-body call's claimed summary effects, as
+// promotion saw them. Block/Index locate the call at promotion time
+// (provenance for certificate diagnostics, not a stable pointer).
+type CallFact struct {
+	// Block is the label of the containing block.
+	Block string
+	// Index is the call's instruction index within Block.
+	Index int
+	// Callee names the direct callee; empty for an indirect call.
+	Callee string
+	// Mods and Refs are the summary effect sets the call carried.
+	Mods ir.TagSet
+	Refs ir.TagSet
 }
 
 // Stats reports what promotion did.
@@ -229,7 +273,15 @@ func rewriteScalar(fn *ir.Func, forest *cfg.LoopForest, info *FuncInfo, opts Opt
 	for _, l := range forest.PreorderLoops() {
 		ls := info.ByLoop[l]
 		lift := throttleLift(fn, l, ls.Lift, opts.PressureLimit)
-		for _, tag := range lift.IDs() {
+		ids := lift.IDs()
+		if len(ids) == 0 {
+			continue
+		}
+		// Snapshot the call-summary facts the promotion decision
+		// relied on before rewriting; the certificate verifier checks
+		// them against independently derived summaries.
+		calls := collectCallFacts(l)
+		for _, tag := range ids {
 			v := fn.NewReg()
 			size := refSize(fn, l, tag)
 			if size == 0 {
@@ -243,17 +295,25 @@ func rewriteScalar(fn *ir.Func, forest *cfg.LoopForest, info *FuncInfo, opts Opt
 			// post-loop code that reads the tag from memory. The
 			// paper always demotes; the refinement skips tags the
 			// loop never writes.
-			if !opts.SkipUnwrittenStores || ls.Stored.Has(tag) {
+			demoted := !opts.SkipUnwrittenStores || ls.Stored.Has(tag)
+			if demoted {
 				for _, x := range l.Exits {
 					insertAtHead(x, ir.Instr{Op: ir.OpSStore, A: v, Tag: tag, Size: size, Synth: true})
 					stats.StoresInserted++
 				}
 			}
-			body := make([]*ir.Block, 0, len(l.Blocks))
-			for b := range l.Blocks {
-				body = append(body, b)
-			}
-			stats.Regions = append(stats.Regions, Region{Func: fn.Name, Tag: tag, Body: body})
+			stats.Regions = append(stats.Regions, Region{
+				Func:        fn.Name,
+				Tag:         tag,
+				Body:        l.BlocksInOrder(),
+				Pad:         l.Pad,
+				Exits:       append([]*ir.Block(nil), l.Exits...),
+				Size:        size,
+				Stored:      ls.Stored.Has(tag),
+				Demoted:     demoted,
+				PromotedReg: v,
+				Calls:       calls,
+			})
 			// Rewrite every reference in the loop to a copy.
 			for b := range l.Blocks {
 				for i := range b.Instrs {
@@ -272,6 +332,30 @@ func rewriteScalar(fn *ir.Func, forest *cfg.LoopForest, info *FuncInfo, opts Opt
 		}
 	}
 	return stats
+}
+
+// collectCallFacts snapshots the claimed MOD/REF summary of every
+// call in l's body, in block-ID/instruction order. The snapshot is
+// taken before rewriting, so the recorded indices are promotion-time
+// provenance, not stable pointers into the final IL.
+func collectCallFacts(l *cfg.Loop) []CallFact {
+	var facts []CallFact
+	for _, b := range l.BlocksInOrder() {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpJsr {
+				continue
+			}
+			facts = append(facts, CallFact{
+				Block:  b.Label,
+				Index:  i,
+				Callee: in.Callee,
+				Mods:   in.Mods,
+				Refs:   in.Refs,
+			})
+		}
+	}
+	return facts
 }
 
 // refSize finds the access width used for tag inside l.

@@ -110,3 +110,56 @@ func computeLiveness(fn *ir.Func) *liveness {
 	})
 	return lv
 }
+
+// Liveness exposes the allocator's per-block live-register sets to
+// other subsystems — the static pressure analysis in
+// internal/analysis/certify reads promoted-value liveness off it
+// without re-deriving the dataflow.
+type Liveness struct {
+	lv *liveness
+}
+
+// ComputeLiveness solves the allocator's backward liveness problem
+// over fn and returns the per-block live-in/live-out sets. Register
+// numbers are fn's current (virtual or physical) names; callers that
+// care about specific registers must query before any renaming pass.
+func ComputeLiveness(fn *ir.Func) *Liveness {
+	return &Liveness{lv: computeLiveness(fn)}
+}
+
+// LiveInHas reports whether r is live at the entry of block b.
+func (l *Liveness) LiveInHas(b ir.BlockID, r ir.Reg) bool {
+	return l.has(l.lv.liveIn, b, r)
+}
+
+// LiveOutHas reports whether r is live at the exit of block b.
+func (l *Liveness) LiveOutHas(b ir.BlockID, r ir.Reg) bool {
+	return l.has(l.lv.liveOut, b, r)
+}
+
+// LiveInCount returns how many registers are live at the entry of b.
+func (l *Liveness) LiveInCount(b ir.BlockID) int {
+	if int(b) >= len(l.lv.liveIn) {
+		return 0
+	}
+	return l.lv.liveIn[b].count()
+}
+
+// LiveOutCount returns how many registers are live at the exit of b.
+func (l *Liveness) LiveOutCount(b ir.BlockID) int {
+	if int(b) >= len(l.lv.liveOut) {
+		return 0
+	}
+	return l.lv.liveOut[b].count()
+}
+
+func (l *Liveness) has(sets []bitset, b ir.BlockID, r ir.Reg) bool {
+	if int(b) >= len(sets) || r < 0 {
+		return false
+	}
+	s := sets[b]
+	if int(r)/64 >= len(s) {
+		return false
+	}
+	return s.has(r)
+}
